@@ -1,0 +1,42 @@
+// Ablation: block-structure preservation. Section 3.3 notes that the
+// studied orderings ignore any small-dense-block structure a matrix already
+// has. This bench quantifies the damage: for the blocked FEM stand-ins, the
+// BSR block fill (structural nonzeros / stored slots at the natural block
+// size) before and after each reordering.
+#include "bench_common.hpp"
+#include "sparse/bsr.hpp"
+
+using namespace ordo;
+
+int main() {
+  const double scale = corpus_options_from_env().scale;
+  const std::vector<std::pair<std::string, int>> cases = {
+      {"audikw_1", 3}, {"Flan_1565", 3}, {"HV15R", 4}};
+
+  std::printf("Ablation: BSR block fill after reordering (natural block "
+              "size)\n\n");
+  std::printf("%-12s %5s", "matrix", "bs");
+  for (OrderingKind kind : study_orderings()) {
+    std::printf(" %8s", ordering_name(kind).c_str());
+  }
+  std::printf("\n");
+
+  for (const auto& [name, block_size] : cases) {
+    const CorpusEntry entry = generate_named(name, scale);
+    std::printf("%-12s %5d", entry.name.c_str(), block_size);
+    for (OrderingKind kind : study_orderings()) {
+      const CsrMatrix reordered = apply_ordering(
+          entry.matrix, compute_ordering(entry.matrix, kind, {}));
+      std::printf(" %7.1f%%",
+                  100.0 * BsrMatrix::from_csr(reordered, block_size)
+                              .block_fill());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nObserved: RCM/AMD keep the blocks intact (rows of one node are\n"
+      "indistinguishable, so BFS levels and AMD supervariables move them\n"
+      "together), while the partitioning orderings split some node blocks\n"
+      "across parts — the structure loss Section 3.3 accepts by design.\n");
+  return 0;
+}

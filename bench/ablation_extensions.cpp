@@ -1,0 +1,51 @@
+// Ablation: extension orderings beyond the paper's six. Compares the
+// separated-block-diagonal ordering (SBD, Yzelman & Bisseling — cited by the
+// paper as another hypergraph-based reordering), a random symmetric
+// permutation (lower bound / sanity), and a degree sort against the study's
+// algorithms on three contrasting matrices (Milan B, 1D kernel).
+#include "bench_common.hpp"
+
+using namespace ordo;
+
+int main() {
+  const ModelOptions model = model_options_from_env();
+  const double scale = corpus_options_from_env().scale;
+  const Architecture& arch = architecture_by_name("Milan B");
+  const std::vector<std::string> matrices = {"333SP", "com-Amazon",
+                                             "Freescale2"};
+  const std::vector<OrderingKind> shown = {
+      OrderingKind::kRcm,        OrderingKind::kGp,
+      OrderingKind::kHp,         OrderingKind::kSbd,
+      OrderingKind::kKing,       OrderingKind::kSimilarity,
+      OrderingKind::kRandom,     OrderingKind::kDegreeSort};
+
+  std::printf("Ablation: extension orderings (Milan B, 1D kernel)\n\n");
+  std::printf("%-12s", "matrix");
+  for (OrderingKind kind : shown) {
+    std::printf(" %8s", ordering_name(kind).c_str());
+  }
+  std::printf("\n");
+
+  for (const std::string& name : matrices) {
+    const CorpusEntry entry = generate_named(name, scale);
+    const double baseline =
+        estimate_spmv(entry.matrix, SpmvKernel::k1D, arch, model).gflops;
+    std::printf("%-12s", entry.name.c_str());
+    for (OrderingKind kind : shown) {
+      ReorderOptions reorder;
+      reorder.gp_parts = arch.cores;
+      const CsrMatrix reordered = apply_ordering(
+          entry.matrix, compute_ordering(entry.matrix, kind, reorder));
+      const double gflops =
+          estimate_spmv(reordered, SpmvKernel::k1D, arch, model).gflops;
+      std::printf(" %7.2fx", gflops / baseline);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected: SBD competitive with GP/HP (same separator structure);\n"
+      "King tracks RCM; the TSP-similarity tour recovers locality on\n"
+      "scrambled matrices; Random never beats the original on well-ordered\n"
+      "matrices; DegSort behaves like a weak Gray.\n");
+  return 0;
+}

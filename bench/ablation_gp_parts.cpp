@@ -1,0 +1,42 @@
+// Ablation: how does the GP ordering's SpMV gain depend on the number of
+// parts? The paper matches the part count to the machine's cores
+// (Section 3.3); this bench sweeps the part count on a fixed machine to show
+// why — too few parts leave locality on the table, far more parts than
+// threads stop helping.
+#include "bench_common.hpp"
+
+using namespace ordo;
+
+int main() {
+  const ModelOptions model = model_options_from_env();
+  const double scale = corpus_options_from_env().scale;
+  const Architecture& arch = architecture_by_name("Milan B");
+  const std::vector<std::string> matrices = {"333SP", "com-Amazon",
+                                             "kmer_V1r"};
+  const std::vector<index_t> part_counts = {2, 8, 32, 128, 512};
+
+  std::printf("Ablation: GP ordering vs part count (Milan B, 1D kernel)\n\n");
+  std::printf("%-12s", "matrix");
+  for (index_t parts : part_counts) std::printf(" %7d", static_cast<int>(parts));
+  std::printf("\n");
+
+  for (const std::string& name : matrices) {
+    const CorpusEntry entry = generate_named(name, scale);
+    const double baseline =
+        estimate_spmv(entry.matrix, SpmvKernel::k1D, arch, model).gflops;
+    std::printf("%-12s", entry.name.c_str());
+    for (index_t parts : part_counts) {
+      ReorderOptions reorder;
+      reorder.gp_parts = parts;
+      const CsrMatrix reordered = apply_ordering(
+          entry.matrix,
+          compute_ordering(entry.matrix, OrderingKind::kGp, reorder));
+      const double gflops =
+          estimate_spmv(reordered, SpmvKernel::k1D, arch, model).gflops;
+      std::printf(" %6.2fx", gflops / baseline);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper setting: parts = machine cores = 128 on Milan B)\n");
+  return 0;
+}

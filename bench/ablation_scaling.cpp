@@ -1,0 +1,34 @@
+// Ablation: strong scaling of the modelled SpMV across thread counts for the
+// original vs GP-reordered matrix (Milan B parameters with varying active
+// cores). Shows where reordering matters most: with few threads the kernel
+// is bandwidth-bound and ordering matters less; at high thread counts the
+// per-thread cache share shrinks and locality dominates.
+#include "bench_common.hpp"
+
+using namespace ordo;
+
+int main() {
+  const ModelOptions model = model_options_from_env();
+  const double scale = corpus_options_from_env().scale;
+  const CorpusEntry entry = generate_named("333SP", scale);
+
+  std::printf("Ablation: strong scaling on %s (Milan B model, 1D kernel)\n\n",
+              entry.name.c_str());
+  std::printf("%8s %14s %14s %10s\n", "threads", "orig GF/s", "GP GF/s",
+              "GP gain");
+  for (int threads : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    Architecture arch = architecture_by_name("Milan B");
+    arch.cores = threads;
+    ReorderOptions reorder;
+    reorder.gp_parts = std::max(threads, 2);
+    const CsrMatrix gp = apply_ordering(
+        entry.matrix, compute_ordering(entry.matrix, OrderingKind::kGp,
+                                       reorder));
+    const double base =
+        estimate_spmv(entry.matrix, SpmvKernel::k1D, arch, model).gflops;
+    const double tuned = estimate_spmv(gp, SpmvKernel::k1D, arch, model).gflops;
+    std::printf("%8d %14.1f %14.1f %9.2fx\n", threads, base, tuned,
+                tuned / base);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared setup for the figure/table harnesses: every bench reads the same
+// environment knobs and shares the cached sweep in the results directory, so
+// the expensive 490-matrix study runs once and every figure regenerates from
+// the cache.
+//
+// Environment knobs:
+//   ORDO_CORPUS_COUNT  number of corpus matrices (default 490)
+//   ORDO_CORPUS_SCALE  nonzero-count scale factor (default 1.0)
+//   ORDO_CACHE_SCALE   cache-capacity divisor of the model (default 64)
+//   ORDO_SYNC_US       modelled parallel-region overhead (default 0.5)
+//   ORDO_RESULTS_DIR   sweep cache directory (default ./ordo_results)
+//   ORDO_VERBOSE       set to 1 for per-matrix progress on stderr
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/stats.hpp"
+
+namespace ordo::bench {
+
+inline StudyOptions study_options_from_env() {
+  StudyOptions options;
+  options.model = model_options_from_env();
+  options.verbose = std::getenv("ORDO_VERBOSE") != nullptr;
+  return options;
+}
+
+/// Loads (or computes and caches) the full study shared by all benches.
+inline StudyResults shared_study() {
+  const CorpusOptions corpus = corpus_options_from_env();
+  std::fprintf(stderr,
+               "ordo: using corpus of %d matrices (scale %.2f); cache dir %s\n",
+               corpus.count, corpus.scale, default_results_dir().c_str());
+  return load_or_run_study(default_results_dir(), corpus,
+                           study_options_from_env());
+}
+
+/// Formats a five-point box summary like the paper's boxplot captions.
+inline void print_box(const char* label, const BoxStats& stats) {
+  std::printf("  %-8s min %6.2f | q1 %5.2f | med %5.2f | q3 %5.2f | max %7.2f\n",
+              label, stats.min, stats.q1, stats.median, stats.q3, stats.max);
+}
+
+}  // namespace ordo::bench

@@ -1,0 +1,52 @@
+// Figure 1: SpMV speedup (or slowdown) of RCM, ND and GP for three
+// contrasting matrices — Freescale2 (circuit), com-Amazon (social network),
+// kmer_V1r (genome assembly) — on Milan B and Ice Lake, using the 1D kernel.
+//
+// Paper values (Milan B / Ice Lake):
+//   Freescale2: RCM 1.68/2.66, ND 0.54/0.99, GP 2.66/4.04
+//   com-Amazon: RCM 1.32/1.36, ND 1.62/1.68, GP 1.76/1.84
+//   kmer_V1r:   RCM 2.67/2.51, ND 3.90/3.60, GP 4.15/3.94
+// The shape to reproduce: GP best on all three, large gains on the badly
+// ordered circuit/genome matrices, ND weakest (and sometimes a slowdown) on
+// the circuit matrix.
+#include "bench_common.hpp"
+#include "features/features.hpp"
+
+using namespace ordo;
+
+int main() {
+  const ModelOptions model = model_options_from_env();
+  const double scale = corpus_options_from_env().scale;
+  const std::vector<std::string> matrices = {"Freescale2", "com-Amazon",
+                                             "kmer_V1r"};
+  const std::vector<OrderingKind> shown = {OrderingKind::kRcm,
+                                           OrderingKind::kNd,
+                                           OrderingKind::kGp};
+  std::printf("Figure 1: SpMV speedup over the original ordering (1D kernel)\n\n");
+  std::printf("%-12s %-10s", "matrix", "machine");
+  for (OrderingKind kind : shown) {
+    std::printf(" %8s", ordering_name(kind).c_str());
+  }
+  std::printf("\n");
+
+  for (const std::string& name : matrices) {
+    const CorpusEntry entry = generate_named(name, scale);
+    for (const char* machine : {"Milan B", "Ice Lake"}) {
+      const Architecture& arch = architecture_by_name(machine);
+      ReorderOptions reorder;
+      reorder.gp_parts = arch.cores;
+      const double baseline =
+          SpmvModel(entry.matrix, model).estimate(SpmvKernel::k1D, arch).gflops;
+      std::printf("%-12s %-10s", entry.name.c_str(), machine);
+      for (OrderingKind kind : shown) {
+        const CsrMatrix reordered = apply_ordering(
+            entry.matrix, compute_ordering(entry.matrix, kind, reorder));
+        const double gflops =
+            SpmvModel(reordered, model).estimate(SpmvKernel::k1D, arch).gflops;
+        std::printf(" %7.2fx", gflops / baseline);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 2: distribution of SpMV speedup after reordering, 1D kernel.
+//
+// For each of the eight machines and each of the six reorderings, prints the
+// five-point summary of speedup over the original ordering across the whole
+// corpus (the paper draws these as boxplots; outliers beyond min/max whiskers
+// are included in min/max here).
+#include "bench_common.hpp"
+#include "core/gnuplot.hpp"
+
+using namespace ordo;
+
+int main() {
+  const StudyResults results = bench::shared_study();
+  const auto reorderings = table1_orderings();
+
+  std::printf("Figure 2: 1D SpMV speedup after reordering (boxes over the corpus)\n");
+  for (const Architecture& arch : table2_architectures()) {
+    const auto& rows = results.at({arch.name, SpmvKernel::k1D});
+    std::printf("\n%s (%d threads, %zu matrices)\n", arch.name.c_str(),
+                arch.cores, rows.size());
+    for (std::size_t k = 0; k < reorderings.size(); ++k) {
+      std::vector<double> speedups;
+      speedups.reserve(rows.size());
+      for (const MeasurementRow& row : rows) {
+        speedups.push_back(reordering_speedups(row)[k]);
+      }
+      bench::print_box(ordering_name(reorderings[k]).c_str(),
+                       box_stats(speedups));
+    }
+  }
+  // Emit gnuplot candlestick data alongside, as the paper's artifact does.
+  std::vector<BoxplotCell> cells;
+  for (const Architecture& arch : table2_architectures()) {
+    const auto& rows = results.at({arch.name, SpmvKernel::k1D});
+    for (std::size_t k = 0; k < reorderings.size(); ++k) {
+      std::vector<double> speedups;
+      for (const MeasurementRow& row : rows) {
+        speedups.push_back(reordering_speedups(row)[k]);
+      }
+      cells.push_back(BoxplotCell{arch.name,
+                                  ordering_name(reorderings[k]),
+                                  box_stats(speedups)});
+    }
+  }
+  write_boxplot_gnuplot(default_results_dir(), "fig2_speedup_1d",
+                        "Figure 2: SpMV speedup after reordering",
+                        cells);
+  std::printf("\n(gnuplot data written to %s/fig2_speedup_1d.dat|.gp)\n",
+              default_results_dir().c_str());
+
+  std::printf(
+      "\nPaper's shape: every box roughly within 0.5-1.5x; RCM/GP/HP medians\n"
+      "> 1 with GP clearly best, AMD slightly < 1, ND ~ 1, Gray well < 1.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 4: the six behaviour classes. For one representative matrix per
+// class, prints the SpMV speedup of every reordering for both kernels and
+// the 1D load-imbalance factor, on three platforms (AMD Milan B, Intel Ice
+// Lake, ARM TX2), as in the paper's class analysis (Section 4.4):
+//
+//   Class 1 (333SP):    balanced before/after; both kernels speed up
+//                       (reordering buys locality).
+//   Class 2 (nv2):      speedups for both kernels plus improved balance.
+//   Class 3 (audikw_1): 1D speedups only (reordering buys balance).
+//   Class 4 (HV15R):    no significant change either way.
+//   Class 5:            reordering *provokes* 1D imbalance -> 1D slowdowns
+//                       that vanish under the 2D kernel.
+//   Class 6:            diverse impact across reorderings.
+#include <map>
+
+#include "bench_common.hpp"
+#include "features/features.hpp"
+
+using namespace ordo;
+
+namespace {
+
+struct ClassCase {
+  const char* cls;
+  const char* matrix;
+};
+
+}  // namespace
+
+int main() {
+  const ModelOptions model = model_options_from_env();
+  const double scale = corpus_options_from_env().scale;
+  const std::vector<ClassCase> cases = {
+      {"Class 1", "333SP"},    {"Class 2", "nv2"},
+      {"Class 3", "audikw_1"}, {"Class 4", "HV15R"},
+      {"Class 5", "kron_g500-logn21"}, {"Class 6", "mycielskian19"},
+  };
+  const std::vector<const char*> machines = {"Milan B", "Ice Lake", "TX2"};
+
+  for (const ClassCase& c : cases) {
+    const CorpusEntry entry = generate_named(c.matrix, scale);
+    std::printf("%s — %s (%s, %d rows, %lld nnz)\n", c.cls, entry.name.c_str(),
+                entry.group.c_str(), static_cast<int>(entry.matrix.num_rows()),
+                static_cast<long long>(entry.matrix.num_nonzeros()));
+    std::printf("  %-9s %-9s %9s %9s %9s\n", "machine", "ordering", "imb(1D)",
+                "speed(1D)", "speed(2D)");
+
+    // Orderings are machine-independent except GP (parts = cores); compute
+    // each once and share the reuse profile across the three platforms.
+    std::map<OrderingKind, CsrMatrix> reordered;
+    std::map<int, CsrMatrix> gp_by_cores;
+    for (OrderingKind kind : study_orderings()) {
+      if (kind == OrderingKind::kGp) continue;
+      reordered.emplace(kind, apply_ordering(
+                                  entry.matrix,
+                                  compute_ordering(entry.matrix, kind, {})));
+    }
+    for (const char* machine : machines) {
+      const int cores = architecture_by_name(machine).cores;
+      if (gp_by_cores.count(cores)) continue;
+      ReorderOptions reorder;
+      reorder.gp_parts = cores;
+      gp_by_cores.emplace(
+          cores, apply_ordering(entry.matrix,
+                                compute_ordering(entry.matrix,
+                                                 OrderingKind::kGp, reorder)));
+    }
+    std::map<OrderingKind, SpmvModel> models;
+    for (const auto& [kind, matrix] : reordered) {
+      models.emplace(kind, SpmvModel(matrix, model));
+    }
+    std::map<int, SpmvModel> gp_models;
+    for (const auto& [cores, matrix] : gp_by_cores) {
+      gp_models.emplace(cores, SpmvModel(matrix, model));
+    }
+
+    for (const char* machine : machines) {
+      const Architecture& arch = architecture_by_name(machine);
+      double base_1d = 0.0, base_2d = 0.0;
+      for (OrderingKind kind : study_orderings()) {
+        const SpmvModel& spmv = kind == OrderingKind::kGp
+                                    ? gp_models.at(arch.cores)
+                                    : models.at(kind);
+        const SpmvEstimate e1 = spmv.estimate(SpmvKernel::k1D, arch);
+        const SpmvEstimate e2 = spmv.estimate(SpmvKernel::k2D, arch);
+        if (kind == OrderingKind::kOriginal) {
+          base_1d = e1.gflops;
+          base_2d = e2.gflops;
+        }
+        std::printf("  %-9s %-9s %9.2f %8.2fx %8.2fx\n", machine,
+                    ordering_name(kind).c_str(), e1.imbalance,
+                    e1.gflops / base_1d, e2.gflops / base_2d);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: class behaviour should be consistent across the three\n"
+      "platforms, with the widest speedup range on the ARM machine.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks for the performance-model machinery: the
+// LRU stack-distance engine (the sweep's dominant cost) and a full
+// eight-machine model evaluation.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "corpus/generators.hpp"
+#include "perfmodel/spmv_model.hpp"
+
+namespace {
+
+using namespace ordo;
+
+void BM_StackDistanceRandomStream(benchmark::State& state) {
+  const index_t num_lines = static_cast<index_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<index_t> dist(0, num_lines - 1);
+  std::vector<index_t> stream(1 << 16);
+  for (auto& line : stream) line = dist(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_reuse(stream, num_lines));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_StackDistanceRandomStream)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_StackDistanceMatrixStream(benchmark::State& state) {
+  const CsrMatrix a = gen_mesh2d(128, 128, 9);
+  std::vector<index_t> lines(a.col_idx().size());
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    lines[k] = a.col_idx()[k] / 8;
+  }
+  const index_t num_lines = a.num_cols() / 8 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_reuse(lines, num_lines));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_StackDistanceMatrixStream);
+
+void BM_FullModelEvaluation(benchmark::State& state) {
+  const CsrMatrix a = gen_mesh3d(24, 24, 24, 7);
+  for (auto _ : state) {
+    const SpmvModel model(a);
+    double total = 0.0;
+    for (const Architecture& arch : table2_architectures()) {
+      total += model.estimate(SpmvKernel::k1D, arch).seconds;
+      total += model.estimate(SpmvKernel::k2D, arch).seconds;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+BENCHMARK(BM_FullModelEvaluation);
+
+void BM_CountMissesSegmented(benchmark::State& state) {
+  const CsrMatrix a = gen_rmat(12, 8, 0.57, 0.19, 0.19, 3);
+  std::vector<index_t> lines(a.col_idx().size());
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    lines[k] = a.col_idx()[k] / 8;
+  }
+  const ReuseProfile profile = analyze_reuse(lines, a.num_cols() / 8 + 1);
+  const int threads = 128;
+  for (auto _ : state) {
+    std::int64_t total = 0;
+    const offset_t nnz = static_cast<offset_t>(lines.size());
+    for (int t = 0; t < threads; ++t) {
+      total += count_misses(profile, nnz * t / threads,
+                            nnz * (t + 1) / threads, 1024);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_CountMissesSegmented);
+
+}  // namespace

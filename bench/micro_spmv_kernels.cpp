@@ -1,0 +1,61 @@
+// google-benchmark microbenchmarks for the real (OpenMP) SpMV kernels on the
+// host machine: serial vs 1D vs 2D across matrix families, plus the
+// 2D-partition preprocessing cost that Section 3.1 argues is amortisable.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "corpus/generators.hpp"
+#include "spmv/spmv.hpp"
+
+namespace {
+
+using namespace ordo;
+
+const CsrMatrix& mesh() {
+  static const CsrMatrix a = gen_mesh2d(160, 160, 9);
+  return a;
+}
+const CsrMatrix& powerlaw() {
+  static const CsrMatrix a = gen_rmat(13, 8, 0.57, 0.19, 0.19, 5);
+  return a;
+}
+
+void bench_spmv(benchmark::State& state, const CsrMatrix& a, int kernel) {
+  std::vector<value_t> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<value_t> y(static_cast<std::size_t>(a.num_rows()));
+  const int threads = static_cast<int>(state.range(0));
+  const NnzPartition partition = partition_nonzeros_even(a, threads);
+  for (auto _ : state) {
+    switch (kernel) {
+      case 0: spmv_serial(a, x, y); break;
+      case 1: spmv_1d(a, x, y, threads); break;
+      default: spmv_2d(a, x, y, partition); break;
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+
+void BM_SerialMesh(benchmark::State& s) { bench_spmv(s, mesh(), 0); }
+void BM_Spmv1dMesh(benchmark::State& s) { bench_spmv(s, mesh(), 1); }
+void BM_Spmv2dMesh(benchmark::State& s) { bench_spmv(s, mesh(), 2); }
+void BM_Spmv1dPowerLaw(benchmark::State& s) { bench_spmv(s, powerlaw(), 1); }
+void BM_Spmv2dPowerLaw(benchmark::State& s) { bench_spmv(s, powerlaw(), 2); }
+
+BENCHMARK(BM_SerialMesh)->Arg(1);
+BENCHMARK(BM_Spmv1dMesh)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_Spmv2dMesh)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_Spmv1dPowerLaw)->Arg(1)->Arg(4);
+BENCHMARK(BM_Spmv2dPowerLaw)->Arg(1)->Arg(4);
+
+void BM_Partition2dPreprocessing(benchmark::State& state) {
+  const CsrMatrix& a = powerlaw();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition_nonzeros_even(a, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Partition2dPreprocessing)->Arg(16)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,28 @@
+// Table 2: the modelled hardware inventory, printed from the architecture
+// descriptors the performance model is instantiated with.
+#include "bench_common.hpp"
+
+using namespace ordo;
+
+int main() {
+  std::printf("Table 2: modelled hardware (parameters from the paper)\n\n");
+  std::printf("%-9s %-26s %-8s %-13s %4s %6s %6s %5s %5s %5s %6s\n", "name",
+              "CPU", "ISA", "uarch", "skt", "cores", "GHz", "L1D", "L2",
+              "L3", "GB/s");
+  for (const Architecture& a : table2_architectures()) {
+    std::printf("%-9s %-26s %-8s %-13s %4d %6d %6.1f %4dK %4dK %4dM %6.1f\n",
+                a.name.c_str(), a.cpu.c_str(), a.isa.c_str(),
+                a.microarch.c_str(), a.sockets, a.cores, a.freq_ghz,
+                a.l1d_kib_per_core, a.l2_kib_per_core, a.l3_mib_per_socket,
+                a.bandwidth_gbs);
+  }
+  std::printf(
+      "\nModel coefficients (per-nonzero cycles / MLP / effective L2,L3 hit "
+      "cycles):\n");
+  for (const Architecture& a : table2_architectures()) {
+    std::printf("  %-9s %.2f cyc/nnz, MLP %.1f, L2 %.0f cyc, L3 %.0f cyc\n",
+                a.name.c_str(), a.cycles_per_nonzero,
+                a.memory_level_parallelism, a.l2_hit_cycles, a.l3_hit_cycles);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 5: wall-clock time to reorder the ten largest matrices of the study
+// (here: their stand-ins), with the modelled time of one 72-thread CSR SpMV
+// iteration on Ice Lake for comparison — the amortisation analysis of
+// Section 4.7.
+//
+// Paper's shape: Gray is always fastest, RCM usually second; ND and HP are
+// typically the slowest, with reordering time spanning several orders of
+// magnitude relative to one SpMV iteration. (Absolute times differ — these
+// are scaled-down stand-ins and our own serial implementations.)
+#include <chrono>
+
+#include "bench_common.hpp"
+
+using namespace ordo;
+
+int main() {
+  const double scale = corpus_options_from_env().scale;
+  const ModelOptions model = model_options_from_env();
+  const Architecture& icelake = architecture_by_name("Ice Lake");
+  const std::vector<std::string> matrices = {
+      "delaunay_n24",   "europe_osm", "Flan_1565",     "HV15R",
+      "indochina-2004", "kmer_V1r",   "kron_g500-logn21",
+      "mycielskian19",  "nlpkkt240",  "vas_stokes_4M"};
+
+  std::printf("Table 5: reordering time in milliseconds (stand-ins; shape, "
+              "not absolute values)\n\n");
+  std::printf("%-18s %8s", "Matrix", "nnz");
+  for (OrderingKind kind : table1_orderings()) {
+    std::printf(" %8s", ordering_name(kind).c_str());
+  }
+  std::printf(" %10s\n", "SpMV[ms]");
+
+  for (const std::string& name : matrices) {
+    const CorpusEntry entry = generate_named(name, scale);
+    std::printf("%-18s %8lld", entry.name.c_str(),
+                static_cast<long long>(entry.matrix.num_nonzeros()));
+    ReorderOptions reorder;
+    reorder.gp_parts = icelake.cores;
+    for (OrderingKind kind : table1_orderings()) {
+      const auto start = std::chrono::steady_clock::now();
+      const Ordering ordering = compute_ordering(entry.matrix, kind, reorder);
+      const auto stop = std::chrono::steady_clock::now();
+      (void)ordering;
+      std::printf(" %8.1f",
+                  std::chrono::duration<double, std::milli>(stop - start)
+                      .count());
+    }
+    const SpmvEstimate spmv =
+        estimate_spmv(entry.matrix, SpmvKernel::k1D, icelake, model);
+    std::printf(" %10.5f\n", spmv.seconds * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Iterative-solver pipeline: the paper's motivating use case for reordering
+// in iterative methods. Solves A x = b with unpreconditioned conjugate
+// gradients, where A is an SPD corpus matrix, once per ordering, and reports
+// (a) that convergence is identical — a symmetric permutation does not
+// change the spectrum — and (b) the modelled per-iteration SpMV time, which
+// is what reordering actually buys.
+//
+//   ./cg_solver [matrix-name] [machine]
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "spmv/spmv.hpp"
+
+using namespace ordo;
+
+namespace {
+
+// Plain CG on the (real) kernels; returns iterations to reach the tolerance.
+int conjugate_gradient(const CsrMatrix& a, std::span<const value_t> b,
+                       std::vector<value_t>& x, double tolerance,
+                       int max_iterations) {
+  const index_t n = a.num_rows();
+  std::vector<value_t> r(b.begin(), b.end());
+  std::vector<value_t> p(r), ap(static_cast<std::size_t>(n));
+  x.assign(static_cast<std::size_t>(n), 0.0);
+
+  auto dot = [](const std::vector<value_t>& u, const std::vector<value_t>& v) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i) sum += u[i] * v[i];
+    return sum;
+  };
+
+  double rr = dot(r, r);
+  const double stop = tolerance * tolerance * rr;
+  int iteration = 0;
+  for (; iteration < max_iterations && rr > stop; ++iteration) {
+    spmv_1d(a, p, ap, 2);
+    const double alpha = rr / dot(p, ap);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_next = dot(r, r);
+    const double beta = rr_next / rr;
+    rr = rr_next;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+  }
+  return iteration;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string matrix_name = argc > 1 ? argv[1] : "audikw_1";
+  const std::string machine = argc > 2 ? argv[2] : "Milan B";
+
+  const CorpusEntry entry = generate_named(matrix_name, 0.25);
+  require(entry.spd, "cg_solver: pick an SPD stand-in (e.g. audikw_1, 333SP)");
+  const Architecture& arch = architecture_by_name(machine);
+  const ModelOptions model = model_options_from_env();
+
+  std::printf("CG on %s (%d unknowns, %lld nnz), machine model: %s\n\n",
+              entry.name.c_str(), static_cast<int>(entry.matrix.num_rows()),
+              static_cast<long long>(entry.matrix.num_nonzeros()),
+              arch.name.c_str());
+  std::printf("%-9s %10s %14s %16s\n", "ordering", "CG iters",
+              "SpMV [us/it]", "solve time [ms]");
+
+  for (OrderingKind kind :
+       {OrderingKind::kOriginal, OrderingKind::kRcm, OrderingKind::kAmd,
+        OrderingKind::kNd, OrderingKind::kGp, OrderingKind::kHp}) {
+    ReorderOptions reorder;
+    reorder.gp_parts = arch.cores;
+    const Ordering ordering = compute_ordering(entry.matrix, kind, reorder);
+    const CsrMatrix a = apply_ordering(entry.matrix, ordering);
+
+    // Permute b consistently so every run solves the same system.
+    std::vector<value_t> b(static_cast<std::size_t>(a.num_rows()));
+    for (index_t i = 0; i < a.num_rows(); ++i) {
+      const index_t original = ordering.row_perm[static_cast<std::size_t>(i)];
+      b[static_cast<std::size_t>(i)] =
+          1.0 + 0.001 * static_cast<double>(original % 97);
+    }
+
+    std::vector<value_t> x;
+    const int iterations = conjugate_gradient(a, b, x, 1e-8, 2000);
+    const SpmvEstimate spmv = estimate_spmv(a, SpmvKernel::k1D, arch, model);
+    std::printf("%-9s %10d %14.2f %16.2f\n", ordering_name(kind).c_str(),
+                iterations, spmv.seconds * 1e6,
+                iterations * spmv.seconds * 1e3);
+  }
+  std::printf(
+      "\nIteration counts are identical across symmetric orderings (the\n"
+      "spectrum is permutation-invariant); the solve-time column shows what\n"
+      "a better ordering buys over thousands of SpMV iterations.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Corpus characterisation report: per-family counts, size ranges, symmetry
+// and skew statistics of the synthetic corpus — the analogue of the paper's
+// Section 4.1 dataset description, useful for judging how well the stand-in
+// corpus mirrors the SuiteSparse selection.
+//
+//   ./corpus_report [count] [scale]
+#include <cstdio>
+#include <map>
+
+#include "corpus/corpus.hpp"
+#include "features/matrix_stats.hpp"
+
+using namespace ordo;
+
+namespace {
+
+struct FamilySummary {
+  int count = 0;
+  std::int64_t min_nnz = 0;
+  std::int64_t max_nnz = 0;
+  std::int64_t total_nnz = 0;
+  double symmetry_sum = 0.0;
+  double skew_sum = 0.0;
+  int spd = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CorpusOptions options = corpus_options_from_env();
+  if (argc > 1) options.count = std::atoi(argv[1]);
+  if (argc > 2) options.scale = std::atof(argv[2]);
+
+  std::printf("generating corpus: %d matrices at scale %.2f...\n",
+              options.count, options.scale);
+  const auto corpus = generate_corpus(options);
+
+  std::map<std::string, FamilySummary> families;
+  std::int64_t grand_total = 0;
+  for (const CorpusEntry& entry : corpus) {
+    const MatrixStats stats = compute_matrix_stats(entry.matrix);
+    FamilySummary& family = families[entry.group];
+    if (family.count == 0) {
+      family.min_nnz = stats.nnz;
+      family.max_nnz = stats.nnz;
+    }
+    family.count++;
+    family.min_nnz = std::min(family.min_nnz, stats.nnz);
+    family.max_nnz = std::max(family.max_nnz, stats.nnz);
+    family.total_nnz += stats.nnz;
+    family.symmetry_sum += stats.symmetry;
+    family.skew_sum += stats.row_skew;
+    family.spd += entry.spd ? 1 : 0;
+    grand_total += stats.nnz;
+  }
+
+  std::printf("\n%-11s %6s %5s %10s %10s %9s %6s\n", "family", "count", "spd",
+              "min nnz", "max nnz", "symmetry", "skew");
+  for (const auto& [group, family] : families) {
+    std::printf("%-11s %6d %5d %10lld %10lld %8.2f%% %6.2f\n", group.c_str(),
+                family.count, family.spd,
+                static_cast<long long>(family.min_nnz),
+                static_cast<long long>(family.max_nnz),
+                100.0 * family.symmetry_sum / family.count,
+                family.skew_sum / family.count);
+  }
+  std::printf("\ntotal: %zu matrices, %lld nonzeros\n", corpus.size(),
+              static_cast<long long>(grand_total));
+  std::printf(
+      "(paper: 490 SuiteSparse matrices, square, non-complex, 1e6..1e9 nnz)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Direct-solver use case: how much Cholesky fill does each ordering incur?
+// Reproduces the Section 4.6 analysis for one matrix, printing nnz(L), the
+// fill ratio and the elimination-tree height (a proxy for available
+// parallelism in the factorization).
+//
+//   ./fillin_analysis [matrix-name]
+#include <algorithm>
+#include <cstdio>
+
+#include "cholesky/cholesky.hpp"
+#include "core/experiment.hpp"
+
+using namespace ordo;
+
+namespace {
+
+index_t etree_height(const std::vector<index_t>& parent) {
+  // Height via memoised climb.
+  std::vector<index_t> depth(parent.size(), -1);
+  index_t height = 0;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    // Walk up until a memoised node or a root.
+    std::vector<index_t> path;
+    index_t u = static_cast<index_t>(v);
+    while (u != -1 && depth[static_cast<std::size_t>(u)] < 0) {
+      path.push_back(u);
+      u = parent[static_cast<std::size_t>(u)];
+    }
+    index_t base = u == -1 ? 0 : depth[static_cast<std::size_t>(u)];
+    for (std::size_t k = path.size(); k > 0; --k) {
+      depth[static_cast<std::size_t>(path[k - 1])] = ++base;
+    }
+    height = std::max(height, base);
+  }
+  return height;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string matrix_name = argc > 1 ? argv[1] : "333SP";
+  const CorpusEntry entry = generate_named(matrix_name, 0.25);
+  require(entry.spd,
+          "fillin_analysis: pick an SPD stand-in (e.g. 333SP, audikw_1)");
+  const CsrMatrix& a = entry.matrix;
+
+  std::printf("Cholesky fill analysis for %s (%d rows, %lld nnz)\n\n",
+              entry.name.c_str(), static_cast<int>(a.num_rows()),
+              static_cast<long long>(a.num_nonzeros()));
+  std::printf("%-9s %14s %10s %14s\n", "ordering", "nnz(L)", "fill", "etree height");
+
+  for (OrderingKind kind :
+       {OrderingKind::kOriginal, OrderingKind::kRcm, OrderingKind::kAmd,
+        OrderingKind::kNd, OrderingKind::kGp, OrderingKind::kHp}) {
+    const CsrMatrix reordered = apply_ordering(a, compute_ordering(a, kind));
+    const std::int64_t nnz_l = cholesky_factor_nonzeros(reordered);
+    const auto parent = elimination_tree(reordered);
+    std::printf("%-9s %14lld %9.2fx %14d\n", ordering_name(kind).c_str(),
+                static_cast<long long>(nnz_l),
+                static_cast<double>(nnz_l) /
+                    static_cast<double>(a.num_nonzeros()),
+                static_cast<int>(etree_height(parent)));
+  }
+  std::printf(
+      "\nExpected: AMD and ND give the least fill (Fig. 6); ND additionally\n"
+      "gives a shallow, bushy elimination tree (good factorisation\n"
+      "parallelism), while RCM's tree is tall and path-like.\n");
+  return 0;
+}

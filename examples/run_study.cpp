@@ -1,0 +1,60 @@
+// Full-study driver CLI: generates the corpus, runs the complete sweep
+// (7 orderings x 8 machines x 2 kernels) and writes the artifact-style
+// result files — the programmatic entry point behind every figure/table
+// bench, exposed as a standalone tool.
+//
+//   ./run_study [--count N] [--scale S] [--out DIR] [--seed K] [--verbose]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hpp"
+
+using namespace ordo;
+
+int main(int argc, char** argv) {
+  CorpusOptions corpus = corpus_options_from_env();
+  StudyOptions study;
+  study.model = model_options_from_env();
+  std::string out_dir = default_results_dir();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      require(i + 1 < argc, "run_study: missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--count") {
+      corpus.count = std::atoi(next());
+    } else if (arg == "--scale") {
+      corpus.scale = std::atof(next());
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--seed") {
+      corpus.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--verbose") {
+      study.verbose = true;
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: %s [--count N] [--scale S] [--out DIR] [--seed K] "
+          "[--verbose]\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "run_study: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("running study: %d matrices (scale %.2f, seed %llu) -> %s\n",
+              corpus.count, corpus.scale,
+              static_cast<unsigned long long>(corpus.seed), out_dir.c_str());
+  const StudyResults results = load_or_run_study(out_dir, corpus, study);
+
+  std::printf("\n%zu result tables written/loaded:\n", results.size());
+  for (const auto& [key, rows] : results) {
+    std::printf("  %-10s %s: %zu matrices\n", key.first.c_str(),
+                spmv_kernel_name(key.second).c_str(), rows.size());
+  }
+  return 0;
+}

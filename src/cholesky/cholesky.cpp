@@ -1,0 +1,208 @@
+#include "cholesky/cholesky.hpp"
+
+#include <algorithm>
+
+#include "sparse/csr_ops.hpp"
+
+namespace ordo {
+namespace {
+
+// Returns `a` if its pattern is already symmetric, otherwise A + Aᵀ.
+CsrMatrix ensure_symmetric(const CsrMatrix& a) {
+  require(a.is_square(), "cholesky: matrix must be square");
+  return is_pattern_symmetric(a) ? a : symmetrize(a);
+}
+
+}  // namespace
+
+std::vector<index_t> elimination_tree(const CsrMatrix& a_in) {
+  const CsrMatrix a = ensure_symmetric(a_in);
+  const index_t n = a.num_rows();
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+  // Liu's algorithm with path compression: process rows in order; for each
+  // below-diagonal entry (j, i), climb the compressed ancestor chain from i
+  // and graft it onto j.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i : a.row_cols(j)) {
+      if (i >= j) break;  // columns sorted: only the strict lower part
+      index_t r = i;
+      while (ancestor[static_cast<std::size_t>(r)] != -1 &&
+             ancestor[static_cast<std::size_t>(r)] != j) {
+        const index_t next = ancestor[static_cast<std::size_t>(r)];
+        ancestor[static_cast<std::size_t>(r)] = j;
+        r = next;
+      }
+      if (ancestor[static_cast<std::size_t>(r)] == -1) {
+        ancestor[static_cast<std::size_t>(r)] = j;
+        parent[static_cast<std::size_t>(r)] = j;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  // Build child lists (children in ascending order).
+  std::vector<index_t> head(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next(static_cast<std::size_t>(n), -1);
+  for (index_t v = n - 1; v >= 0; --v) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      next[static_cast<std::size_t>(v)] = head[static_cast<std::size_t>(p)];
+      head[static_cast<std::size_t>(p)] = v;
+    }
+    if (v == 0) break;
+  }
+
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> stack;
+  for (index_t root = 0; root < n; ++root) {
+    if (parent[static_cast<std::size_t>(root)] != -1) continue;
+    // Iterative DFS emitting nodes on the way back up.
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t child = head[static_cast<std::size_t>(v)];
+      if (child != -1) {
+        head[static_cast<std::size_t>(v)] =
+            next[static_cast<std::size_t>(child)];
+        stack.push_back(child);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  require(post.size() == static_cast<std::size_t>(n),
+          "tree_postorder: parent array is not a forest");
+  return post;
+}
+
+std::vector<index_t> cholesky_column_counts(const CsrMatrix& a_in) {
+  const CsrMatrix a = ensure_symmetric(a_in);
+  const index_t n = a.num_rows();
+  const std::vector<index_t> parent = elimination_tree(a);
+  const std::vector<index_t> post = tree_postorder(parent);
+
+  // first[j]: postorder index of j's first descendant; delta: skeleton
+  // counts (Gilbert, Ng & Peyton 1994, in the compact form of CSparse's
+  // cs_counts).
+  std::vector<index_t> first(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> delta(static_cast<std::size_t>(n), 0);
+  for (index_t k = 0; k < n; ++k) {
+    index_t j = post[static_cast<std::size_t>(k)];
+    delta[static_cast<std::size_t>(j)] =
+        (first[static_cast<std::size_t>(j)] == -1) ? 1 : 0;
+    for (; j != -1 && first[static_cast<std::size_t>(j)] == -1;
+         j = parent[static_cast<std::size_t>(j)]) {
+      first[static_cast<std::size_t>(j)] = k;
+    }
+  }
+
+  std::vector<index_t> maxfirst(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> prevleaf(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) ancestor[static_cast<std::size_t>(v)] = v;
+
+  // cs_leaf: is j a leaf of the row subtree of i? Returns the least common
+  // ancestor of the previous leaf and j when j is a subsequent leaf.
+  auto leaf = [&](index_t i, index_t j, int& jleaf) -> index_t {
+    jleaf = 0;
+    if (i <= j ||
+        first[static_cast<std::size_t>(j)] <=
+            maxfirst[static_cast<std::size_t>(i)]) {
+      return -1;
+    }
+    maxfirst[static_cast<std::size_t>(i)] =
+        first[static_cast<std::size_t>(j)];
+    const index_t jprev = prevleaf[static_cast<std::size_t>(i)];
+    prevleaf[static_cast<std::size_t>(i)] = j;
+    if (jprev == -1) {
+      jleaf = 1;
+      return i;
+    }
+    jleaf = 2;
+    index_t q = jprev;
+    while (q != ancestor[static_cast<std::size_t>(q)]) {
+      q = ancestor[static_cast<std::size_t>(q)];
+    }
+    index_t s = jprev;
+    while (s != q) {
+      const index_t sparent = ancestor[static_cast<std::size_t>(s)];
+      ancestor[static_cast<std::size_t>(s)] = q;
+      s = sparent;
+    }
+    return q;
+  };
+
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = post[static_cast<std::size_t>(k)];
+    if (parent[static_cast<std::size_t>(j)] != -1) {
+      delta[static_cast<std::size_t>(
+          parent[static_cast<std::size_t>(j)])]--;
+    }
+    for (index_t i : a.row_cols(j)) {
+      int jleaf = 0;
+      const index_t q = leaf(i, j, jleaf);
+      if (jleaf >= 1) delta[static_cast<std::size_t>(j)]++;
+      if (jleaf == 2) delta[static_cast<std::size_t>(q)]--;
+    }
+    if (parent[static_cast<std::size_t>(j)] != -1) {
+      ancestor[static_cast<std::size_t>(j)] =
+          parent[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Accumulate deltas up the tree to obtain the column counts.
+  std::vector<index_t> counts = delta;
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = post[static_cast<std::size_t>(k)];
+    const index_t p = parent[static_cast<std::size_t>(j)];
+    if (p != -1) {
+      counts[static_cast<std::size_t>(p)] +=
+          counts[static_cast<std::size_t>(j)];
+    }
+  }
+  return counts;
+}
+
+std::int64_t cholesky_factor_nonzeros(const CsrMatrix& a) {
+  const std::vector<index_t> counts = cholesky_column_counts(a);
+  std::int64_t total = 0;
+  for (index_t c : counts) total += c;
+  return total;
+}
+
+double cholesky_fill_ratio(const CsrMatrix& a_in) {
+  const CsrMatrix a = ensure_symmetric(a_in);
+  require(a.num_nonzeros() > 0, "cholesky_fill_ratio: empty matrix");
+  return static_cast<double>(cholesky_factor_nonzeros(a)) /
+         static_cast<double>(a.num_nonzeros());
+}
+
+std::vector<index_t> symbolic_cholesky_reference(const CsrMatrix& a_in) {
+  const CsrMatrix a = ensure_symmetric(a_in);
+  const index_t n = a.num_rows();
+  const std::vector<index_t> parent = elimination_tree(a);
+  std::vector<index_t> counts(static_cast<std::size_t>(n), 1);  // diagonal
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  // Row i of L is the union of the elimination-tree paths from each
+  // below-diagonal entry of row i up to (but excluding) i.
+  for (index_t i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    for (index_t j : a.row_cols(i)) {
+      if (j >= i) break;
+      for (index_t k = j; mark[static_cast<std::size_t>(k)] != i;
+           k = parent[static_cast<std::size_t>(k)]) {
+        counts[static_cast<std::size_t>(k)]++;  // L(i, k) exists
+        mark[static_cast<std::size_t>(k)] = i;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace ordo

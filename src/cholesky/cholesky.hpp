@@ -1,0 +1,44 @@
+// Symbolic sparse Cholesky analysis (Section 4.6 of the paper).
+//
+// For a symmetric positive definite A = L·Lᵀ, the fill-in of L depends
+// entirely on the ordering. The paper counts fill with the row/column
+// counting algorithm of Gilbert, Ng & Peyton (1994), which computes
+// nnz(L) without forming L, in near-linear time, using the elimination
+// tree. A quadratic reference symbolic factorization is also provided here
+// to cross-validate the fast counts in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/permutation.hpp"
+
+namespace ordo {
+
+/// Elimination tree of a symmetric matrix: parent[j] is the parent of column
+/// j (or -1 for roots). Computed with Liu's algorithm using path
+/// compression (virtual ancestors).
+std::vector<index_t> elimination_tree(const CsrMatrix& a);
+
+/// Postorder of a forest given by parent pointers; children are visited in
+/// ascending order. Returns old-of-new ordering of the vertices.
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent);
+
+/// Column counts of the Cholesky factor L (including the diagonal), via the
+/// skeleton-based counting of Gilbert, Ng & Peyton.
+std::vector<index_t> cholesky_column_counts(const CsrMatrix& a);
+
+/// nnz(L) including the diagonal.
+std::int64_t cholesky_factor_nonzeros(const CsrMatrix& a);
+
+/// Fill ratio nnz(L)/nnz(A) as plotted in Fig. 6. `a` must have a symmetric
+/// pattern with a full diagonal.
+double cholesky_fill_ratio(const CsrMatrix& a);
+
+/// Quadratic reference symbolic factorization: returns the column counts of
+/// L computed by explicit row-subtree traversal. Used to validate
+/// cholesky_column_counts in tests; O(nnz(L)) time and memory.
+std::vector<index_t> symbolic_cholesky_reference(const CsrMatrix& a);
+
+}  // namespace ordo

@@ -1,0 +1,187 @@
+#include "cholesky/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cholesky/cholesky.hpp"
+#include "sparse/csr_ops.hpp"
+
+namespace ordo {
+namespace {
+
+// Pattern of row k of L: the columns j < k reachable by walking up the
+// elimination tree from each below-diagonal entry of row k of A. Returns
+// them in topological (descendant-before-ancestor) order in `pattern`
+// (filled from the back of the scratch stack, as in CSparse's cs_ereach).
+void etree_reach(const CsrMatrix& a, index_t k,
+                 const std::vector<index_t>& parent,
+                 std::vector<index_t>& mark, std::vector<index_t>& stack,
+                 std::vector<index_t>& pattern) {
+  pattern.clear();
+  mark[static_cast<std::size_t>(k)] = k;
+  for (index_t j : a.row_cols(k)) {
+    if (j >= k) break;
+    // Climb from j to the first marked ancestor, recording the path.
+    stack.clear();
+    index_t t = j;
+    while (mark[static_cast<std::size_t>(t)] != k) {
+      stack.push_back(t);
+      mark[static_cast<std::size_t>(t)] = k;
+      t = parent[static_cast<std::size_t>(t)];
+    }
+    // The path runs descendant -> ancestor; prepend it reversed so overall
+    // order stays topological.
+    pattern.insert(pattern.end(), stack.rbegin(), stack.rend());
+  }
+  // `pattern` now holds each subtree path ancestor-last; sorting by etree
+  // topology is what the numeric step needs. The concatenation above yields
+  // ancestors after their descendants within each path; across paths the
+  // relative order is arbitrary but safe because updates only flow from
+  // column j into later rows.
+  std::sort(pattern.begin(), pattern.end());
+}
+
+}  // namespace
+
+std::optional<CholeskyFactor> cholesky_factorize(const CsrMatrix& a_in) {
+  require(a_in.is_square(), "cholesky_factorize: matrix must be square");
+  const CsrMatrix a =
+      is_pattern_symmetric(a_in) ? a_in : symmetrize(a_in);
+  const index_t n = a.num_rows();
+
+  CholeskyFactor factor;
+  factor.n = n;
+  factor.parent = elimination_tree(a);
+  const std::vector<index_t> counts = cholesky_column_counts(a);
+
+  factor.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j) {
+    factor.col_ptr[static_cast<std::size_t>(j) + 1] =
+        factor.col_ptr[static_cast<std::size_t>(j)] +
+        counts[static_cast<std::size_t>(j)];
+  }
+  factor.row_idx.resize(static_cast<std::size_t>(factor.col_ptr.back()));
+  factor.values.resize(static_cast<std::size_t>(factor.col_ptr.back()));
+
+  // next[j]: position of the next free slot in column j. The diagonal takes
+  // the first slot of each column.
+  std::vector<offset_t> next(factor.col_ptr.begin(), factor.col_ptr.end() - 1);
+  std::vector<value_t> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> stack, pattern;
+
+  for (index_t k = 0; k < n; ++k) {
+    // Scatter row k of A (lower part incl. diagonal) into x.
+    value_t diag = 0.0;
+    {
+      const auto cols = a.row_cols(k);
+      const auto vals = a.row_values(k);
+      for (std::size_t p = 0; p < cols.size() && cols[p] <= k; ++p) {
+        if (cols[p] == k) {
+          diag = vals[p];
+        } else {
+          x[static_cast<std::size_t>(cols[p])] = vals[p];
+        }
+      }
+    }
+
+    etree_reach(a, k, factor.parent, mark, stack, pattern);
+
+    // Up-looking elimination: for each j in the row pattern (ascending
+    // order respects the etree topology), finalize L(k,j) and apply the
+    // rank-1 update of column j to x.
+    for (index_t j : pattern) {
+      const offset_t j_begin = factor.col_ptr[static_cast<std::size_t>(j)];
+      const value_t l_jj = factor.values[static_cast<std::size_t>(j_begin)];
+      const value_t l_kj = x[static_cast<std::size_t>(j)] / l_jj;
+      x[static_cast<std::size_t>(j)] = 0.0;
+      for (offset_t p = j_begin + 1; p < next[static_cast<std::size_t>(j)];
+           ++p) {
+        x[static_cast<std::size_t>(
+            factor.row_idx[static_cast<std::size_t>(p)])] -=
+            factor.values[static_cast<std::size_t>(p)] * l_kj;
+      }
+      diag -= l_kj * l_kj;
+      // Append L(k,j) to column j.
+      const offset_t slot = next[static_cast<std::size_t>(j)]++;
+      factor.row_idx[static_cast<std::size_t>(slot)] = k;
+      factor.values[static_cast<std::size_t>(slot)] = l_kj;
+    }
+
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    const offset_t k_slot = next[static_cast<std::size_t>(k)]++;
+    factor.row_idx[static_cast<std::size_t>(k_slot)] = k;
+    factor.values[static_cast<std::size_t>(k_slot)] = std::sqrt(diag);
+  }
+  return factor;
+}
+
+std::vector<value_t> forward_solve(const CholeskyFactor& factor,
+                                   std::span<const value_t> b) {
+  require(b.size() == static_cast<std::size_t>(factor.n),
+          "forward_solve: size mismatch");
+  std::vector<value_t> y(b.begin(), b.end());
+  for (index_t j = 0; j < factor.n; ++j) {
+    const offset_t begin = factor.col_ptr[static_cast<std::size_t>(j)];
+    const offset_t end = factor.col_ptr[static_cast<std::size_t>(j) + 1];
+    y[static_cast<std::size_t>(j)] /=
+        factor.values[static_cast<std::size_t>(begin)];
+    const value_t yj = y[static_cast<std::size_t>(j)];
+    for (offset_t p = begin + 1; p < end; ++p) {
+      y[static_cast<std::size_t>(factor.row_idx[static_cast<std::size_t>(p)])] -=
+          factor.values[static_cast<std::size_t>(p)] * yj;
+    }
+  }
+  return y;
+}
+
+std::vector<value_t> backward_solve(const CholeskyFactor& factor,
+                                    std::span<const value_t> y) {
+  require(y.size() == static_cast<std::size_t>(factor.n),
+          "backward_solve: size mismatch");
+  std::vector<value_t> x(y.begin(), y.end());
+  for (index_t j = factor.n - 1; j >= 0; --j) {
+    const offset_t begin = factor.col_ptr[static_cast<std::size_t>(j)];
+    const offset_t end = factor.col_ptr[static_cast<std::size_t>(j) + 1];
+    value_t sum = x[static_cast<std::size_t>(j)];
+    for (offset_t p = begin + 1; p < end; ++p) {
+      sum -= factor.values[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(
+                 factor.row_idx[static_cast<std::size_t>(p)])];
+    }
+    x[static_cast<std::size_t>(j)] =
+        sum / factor.values[static_cast<std::size_t>(begin)];
+    if (j == 0) break;
+  }
+  return x;
+}
+
+std::vector<value_t> cholesky_solve(const CholeskyFactor& factor,
+                                    std::span<const value_t> b) {
+  const std::vector<value_t> y = forward_solve(factor, b);
+  return backward_solve(factor, y);
+}
+
+std::vector<value_t> reconstruct_dense(const CholeskyFactor& factor) {
+  const std::size_t n = static_cast<std::size_t>(factor.n);
+  std::vector<value_t> dense(n * n, 0.0);
+  // A = L Lᵀ: accumulate outer products column by column.
+  for (index_t j = 0; j < factor.n; ++j) {
+    const offset_t begin = factor.col_ptr[static_cast<std::size_t>(j)];
+    const offset_t end = factor.col_ptr[static_cast<std::size_t>(j) + 1];
+    for (offset_t p = begin; p < end; ++p) {
+      for (offset_t q = begin; q < end; ++q) {
+        dense[static_cast<std::size_t>(
+                  factor.row_idx[static_cast<std::size_t>(p)]) *
+                  n +
+              static_cast<std::size_t>(
+                  factor.row_idx[static_cast<std::size_t>(q)])] +=
+            factor.values[static_cast<std::size_t>(p)] *
+            factor.values[static_cast<std::size_t>(q)];
+      }
+    }
+  }
+  return dense;
+}
+
+}  // namespace ordo

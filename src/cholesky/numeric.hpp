@@ -1,0 +1,55 @@
+// Numeric sparse Cholesky factorization (up-looking, CSparse-style) and
+// triangular solves.
+//
+// This complements the symbolic analysis in cholesky.hpp: the factor's
+// per-column nonzero counts must agree exactly with the Gilbert–Ng–Peyton
+// counts (cross-validated in the tests), and together with the solves it
+// turns the fill-in study of Fig. 6 into a runnable direct solver, making
+// the fill numbers concrete (more fill = more memory and flops).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace ordo {
+
+/// Lower-triangular Cholesky factor L with A = L·Lᵀ, stored column-wise
+/// (compressed sparse column: col_ptr/row_idx/values), diagonal first in
+/// every column.
+struct CholeskyFactor {
+  index_t n = 0;
+  std::vector<offset_t> col_ptr;
+  std::vector<index_t> row_idx;
+  std::vector<value_t> values;
+  std::vector<index_t> parent;  ///< elimination tree used by the solve
+
+  offset_t num_nonzeros() const {
+    return col_ptr.empty() ? 0 : col_ptr.back();
+  }
+};
+
+/// Factorizes a symmetric positive definite matrix given by its full
+/// (both-triangle) pattern. Returns std::nullopt when a non-positive pivot
+/// is encountered (the matrix is not positive definite).
+std::optional<CholeskyFactor> cholesky_factorize(const CsrMatrix& a);
+
+/// Solves L·y = b (forward substitution).
+std::vector<value_t> forward_solve(const CholeskyFactor& factor,
+                                   std::span<const value_t> b);
+
+/// Solves Lᵀ·x = y (backward substitution).
+std::vector<value_t> backward_solve(const CholeskyFactor& factor,
+                                    std::span<const value_t> y);
+
+/// Solves A·x = b via the factorization (forward then backward solve).
+std::vector<value_t> cholesky_solve(const CholeskyFactor& factor,
+                                    std::span<const value_t> b);
+
+/// Reconstructs A = L·Lᵀ as a dense row-major matrix; for test-sized
+/// problems only.
+std::vector<value_t> reconstruct_dense(const CholeskyFactor& factor);
+
+}  // namespace ordo

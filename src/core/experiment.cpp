@@ -1,0 +1,268 @@
+#include "core/experiment.hpp"
+
+#include "features/features.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ordo {
+namespace {
+
+OrderingMeasurement to_measurement(const SpmvEstimate& estimate) {
+  OrderingMeasurement m;
+  m.min_thread_nnz = estimate.min_thread_nnz;
+  m.max_thread_nnz = estimate.max_thread_nnz;
+  m.mean_thread_nnz = estimate.mean_thread_nnz;
+  m.imbalance = estimate.imbalance;
+  m.seconds = estimate.seconds;
+  m.gflops_max = estimate.gflops;
+  // The artifact reports both the best of 100 runs and the mean of the warm
+  // runs; the model is deterministic so the two coincide.
+  m.gflops_mean = estimate.gflops;
+  return m;
+}
+
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == ' ') c = '_';
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> reordering_speedups(const MeasurementRow& row) {
+  require(row.orderings.size() == 7,
+          "reordering_speedups: row must have 7 ordering measurements");
+  std::vector<double> speedups;
+  speedups.reserve(6);
+  for (std::size_t k = 1; k < 7; ++k) {
+    speedups.push_back(row.orderings[k].gflops_max /
+                       row.orderings[0].gflops_max);
+  }
+  return speedups;
+}
+
+StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
+                            const StudyOptions& options) {
+  const auto& machines = table2_architectures();
+  const auto kinds = study_orderings();
+
+  StudyResults results;
+  for (const Architecture& arch : machines) {
+    results[{arch.name, SpmvKernel::k1D}] = {};
+    results[{arch.name, SpmvKernel::k2D}] = {};
+  }
+
+  for (std::size_t mi = 0; mi < corpus.size(); ++mi) {
+    const CorpusEntry& entry = corpus[mi];
+    if (options.verbose) {
+      std::fprintf(stderr, "[%zu/%zu] %s (n=%d, nnz=%lld)\n", mi + 1,
+                   corpus.size(), entry.name.c_str(),
+                   static_cast<int>(entry.matrix.num_rows()),
+                   static_cast<long long>(entry.matrix.num_nonzeros()));
+    }
+
+    // Arch-independent orderings, computed once. The GP ordering matches the
+    // part count to the machine's cores (Section 3.3), so it is computed per
+    // distinct core count instead.
+    std::map<OrderingKind, CsrMatrix> reordered;
+    for (OrderingKind kind : kinds) {
+      if (kind == OrderingKind::kGp) continue;
+      reordered.emplace(
+          kind,
+          apply_ordering(entry.matrix,
+                         compute_ordering(entry.matrix, kind, options.reorder)));
+    }
+    std::map<int, CsrMatrix> gp_by_cores;
+    for (const Architecture& arch : machines) {
+      if (gp_by_cores.count(arch.cores)) continue;
+      ReorderOptions gp_options = options.reorder;
+      gp_options.gp_parts = arch.cores;
+      gp_by_cores.emplace(
+          arch.cores,
+          apply_ordering(
+              entry.matrix,
+              compute_ordering(entry.matrix, OrderingKind::kGp, gp_options)));
+    }
+
+    // One reuse profile per reordered matrix, shared across machines.
+    std::map<OrderingKind, SpmvModel> models;
+    for (const auto& [kind, matrix] : reordered) {
+      models.emplace(kind, SpmvModel(matrix, options.model));
+    }
+    std::map<int, SpmvModel> gp_models;
+    for (const auto& [cores, matrix] : gp_by_cores) {
+      gp_models.emplace(cores, SpmvModel(matrix, options.model));
+    }
+
+    // Order-sensitive features: bandwidth and profile are machine-
+    // independent; the off-diagonal count uses the machine's core count as
+    // block count and is computed per distinct thread count.
+    std::map<OrderingKind, std::pair<std::int64_t, std::int64_t>> band_profile;
+    for (const auto& [kind, matrix] : reordered) {
+      band_profile[kind] = {matrix_bandwidth(matrix), matrix_profile(matrix)};
+    }
+    std::map<int, std::pair<std::int64_t, std::int64_t>> gp_band_profile;
+    for (const auto& [cores, matrix] : gp_by_cores) {
+      gp_band_profile[cores] = {matrix_bandwidth(matrix),
+                                matrix_profile(matrix)};
+    }
+    std::map<std::pair<int, int>, std::int64_t> offdiag;  // (ordering idx, cores)
+    for (const Architecture& arch : machines) {
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        const auto key = std::make_pair(static_cast<int>(k), arch.cores);
+        if (offdiag.count(key)) continue;
+        const CsrMatrix& matrix = kinds[k] == OrderingKind::kGp
+                                      ? gp_by_cores.at(arch.cores)
+                                      : reordered.at(kinds[k]);
+        offdiag[key] = off_diagonal_block_nonzeros(matrix, arch.cores);
+      }
+    }
+
+    for (const Architecture& arch : machines) {
+      for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+        MeasurementRow row;
+        row.group = entry.group;
+        row.name = entry.name;
+        row.rows = entry.matrix.num_rows();
+        row.cols = entry.matrix.num_cols();
+        row.nnz = entry.matrix.num_nonzeros();
+        row.threads = arch.cores;
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+          const OrderingKind kind = kinds[k];
+          const SpmvModel& model = kind == OrderingKind::kGp
+                                       ? gp_models.at(arch.cores)
+                                       : models.at(kind);
+          OrderingMeasurement m = to_measurement(model.estimate(kernel, arch));
+          const auto& bp = kind == OrderingKind::kGp
+                               ? gp_band_profile.at(arch.cores)
+                               : band_profile.at(kind);
+          m.bandwidth = bp.first;
+          m.profile = bp.second;
+          m.off_diagonal_nnz =
+              offdiag.at({static_cast<int>(k), arch.cores});
+          row.orderings.push_back(m);
+        }
+        results[{arch.name, kernel}].push_back(std::move(row));
+      }
+    }
+  }
+  return results;
+}
+
+std::string results_filename(SpmvKernel kernel, const Architecture& arch,
+                             int corpus_count) {
+  std::ostringstream name;
+  name << "csr_" << sanitize(spmv_kernel_name(kernel)) << '_'
+       << sanitize(arch.name) << '_' << arch.cores << "_threads_ss"
+       << corpus_count << ".txt";
+  return name.str();
+}
+
+void write_results_file(const std::string& path,
+                        const std::vector<MeasurementRow>& rows) {
+  std::ofstream out(path);
+  require(out.good(), "write_results_file: cannot open " + path);
+  out << "# group name rows cols nnz threads";
+  for (OrderingKind kind : study_orderings()) {
+    const std::string n = ordering_name(kind);
+    out << ' ' << n << ":min_nnz " << n << ":max_nnz " << n << ":mean_nnz "
+        << n << ":imbalance " << n << ":seconds " << n << ":gflops_max " << n
+        << ":gflops_mean " << n << ":bandwidth " << n << ":profile " << n
+        << ":offdiag_nnz";
+  }
+  out << '\n';
+  out.precision(9);
+  for (const MeasurementRow& row : rows) {
+    out << row.group << ' ' << row.name << ' ' << row.rows << ' ' << row.cols
+        << ' ' << row.nnz << ' ' << row.threads;
+    for (const OrderingMeasurement& m : row.orderings) {
+      out << ' ' << m.min_thread_nnz << ' ' << m.max_thread_nnz << ' '
+          << m.mean_thread_nnz << ' ' << m.imbalance << ' ' << m.seconds
+          << ' ' << m.gflops_max << ' ' << m.gflops_mean << ' ' << m.bandwidth
+          << ' ' << m.profile << ' ' << m.off_diagonal_nnz;
+    }
+    out << '\n';
+  }
+}
+
+std::vector<MeasurementRow> read_results_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_results_file: cannot open " + path);
+  std::vector<MeasurementRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    MeasurementRow row;
+    fields >> row.group >> row.name >> row.rows >> row.cols >> row.nnz >>
+        row.threads;
+    for (std::size_t k = 0; k < study_orderings().size(); ++k) {
+      OrderingMeasurement m;
+      fields >> m.min_thread_nnz >> m.max_thread_nnz >> m.mean_thread_nnz >>
+          m.imbalance >> m.seconds >> m.gflops_max >> m.gflops_mean >>
+          m.bandwidth >> m.profile >> m.off_diagonal_nnz;
+      row.orderings.push_back(m);
+    }
+    require(!fields.fail(), "read_results_file: malformed row in " + path);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string default_results_dir() {
+  if (const char* dir = std::getenv("ORDO_RESULTS_DIR")) return dir;
+  return "ordo_results";
+}
+
+StudyResults load_or_run_study(const std::string& dir,
+                               const CorpusOptions& corpus_options,
+                               const StudyOptions& options) {
+  namespace fs = std::filesystem;
+  const auto& machines = table2_architectures();
+
+  bool all_cached = true;
+  for (const Architecture& arch : machines) {
+    for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+      if (!fs::exists(fs::path(dir) /
+                      results_filename(kernel, arch, corpus_options.count))) {
+        all_cached = false;
+      }
+    }
+  }
+
+  StudyResults results;
+  if (all_cached) {
+    for (const Architecture& arch : machines) {
+      for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+        results[{arch.name, kernel}] = read_results_file(
+            (fs::path(dir) / results_filename(kernel, arch,
+                                              corpus_options.count))
+                .string());
+      }
+    }
+    return results;
+  }
+
+  const std::vector<CorpusEntry> corpus = generate_corpus(corpus_options);
+  results = run_full_study(corpus, options);
+  fs::create_directories(dir);
+  for (const Architecture& arch : machines) {
+    for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+      write_results_file(
+          (fs::path(dir) /
+           results_filename(kernel, arch, corpus_options.count))
+              .string(),
+          results.at({arch.name, kernel}));
+    }
+  }
+  return results;
+}
+
+}  // namespace ordo

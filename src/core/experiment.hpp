@@ -1,0 +1,91 @@
+// The experiment pipeline of the study: apply the seven orderings to every
+// corpus matrix and record simulated SpMV measurements for both kernels on
+// all eight machines, in the same per-(machine, kernel) tabular layout as
+// the paper's published artifact (one row per matrix; 5 matrix columns, the
+// thread count, then 7 columns for each of the 7 orderings = 54 columns).
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "perfmodel/spmv_model.hpp"
+#include "reorder/reordering.hpp"
+
+namespace ordo {
+
+/// The artifact's seven per-ordering columns, extended with the three
+/// order-sensitive features of Section 3.2 (bandwidth, profile and the
+/// off-diagonal nonzero count under a threads×threads blocking) that Fig. 5
+/// correlates with SpMV runtime.
+struct OrderingMeasurement {
+  std::int64_t min_thread_nnz = 0;
+  std::int64_t max_thread_nnz = 0;
+  double mean_thread_nnz = 0.0;
+  double imbalance = 1.0;
+  double seconds = 0.0;
+  double gflops_max = 0.0;
+  double gflops_mean = 0.0;
+  std::int64_t bandwidth = 0;
+  std::int64_t profile = 0;
+  std::int64_t off_diagonal_nnz = 0;
+};
+
+/// One matrix's measurements on one (machine, kernel) pair.
+struct MeasurementRow {
+  std::string group;
+  std::string name;
+  index_t rows = 0;
+  index_t cols = 0;
+  std::int64_t nnz = 0;
+  int threads = 0;
+  /// Indexed like study_orderings(): Original, RCM, AMD, ND, GP, HP, Gray.
+  std::vector<OrderingMeasurement> orderings;
+};
+
+/// SpMV speedups over the original ordering for the six reorderings of
+/// Table 1 (order: RCM, AMD, ND, GP, HP, Gray), from gflops_max.
+std::vector<double> reordering_speedups(const MeasurementRow& row);
+
+struct StudyOptions {
+  ModelOptions model;
+  ReorderOptions reorder;  ///< gp_parts is overridden per machine core count
+  bool verbose = false;    ///< progress lines on stderr
+};
+
+/// Results of the full sweep: rows[(machine name, kernel)] -> per-matrix rows.
+using StudyResults =
+    std::map<std::pair<std::string, SpmvKernel>, std::vector<MeasurementRow>>;
+
+/// Runs the full study: for each matrix computes the arch-independent
+/// orderings once, the GP ordering once per distinct core count (the paper
+/// matches GP's part count to the machine), and evaluates the performance
+/// model for every (machine, kernel).
+StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
+                            const StudyOptions& options);
+
+/// Artifact-style result file name, e.g. "csr_1d_milan_b_128_threads_ss490.txt".
+std::string results_filename(SpmvKernel kernel, const Architecture& arch,
+                             int corpus_count);
+
+/// Writes rows in the artifact's whitespace-separated 54-column format.
+void write_results_file(const std::string& path,
+                        const std::vector<MeasurementRow>& rows);
+
+/// Reads a results file written by write_results_file.
+std::vector<MeasurementRow> read_results_file(const std::string& path);
+
+/// Loads the study from cache files in `dir` when all 16 files exist;
+/// otherwise generates the corpus, runs the study, and writes the cache.
+/// This is what lets every figure/table bench share one sweep. The cache
+/// key includes the corpus count, so changing ORDO_CORPUS_COUNT reruns.
+StudyResults load_or_run_study(const std::string& dir,
+                               const CorpusOptions& corpus_options,
+                               const StudyOptions& options);
+
+/// Default cache directory: $ORDO_RESULTS_DIR or "ordo_results".
+std::string default_results_dir();
+
+}  // namespace ordo

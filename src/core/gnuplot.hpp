@@ -1,0 +1,27 @@
+// gnuplot output for the boxplot figures. The paper's artifact provides
+// gnuplot scripts to regenerate Figs. 2-3 from the result files; this module
+// writes the equivalent candlestick data (.dat) and driver script (.gp) so
+// `gnuplot figN.gp` reproduces the figure from an ordo sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace ordo {
+
+/// One box per (machine, ordering) cell of a Fig. 2/3-style grid.
+struct BoxplotCell {
+  std::string machine;
+  std::string ordering;
+  BoxStats stats;
+};
+
+/// Writes `<basename>.dat` (whisker data: x label q1 min max q3 median) and
+/// `<basename>.gp` (candlestick plot script) into `dir`.
+void write_boxplot_gnuplot(const std::string& dir, const std::string& basename,
+                           const std::string& title,
+                           const std::vector<BoxplotCell>& cells);
+
+}  // namespace ordo

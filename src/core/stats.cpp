@@ -1,0 +1,108 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparse/types.hpp"
+
+namespace ordo {
+
+double geometric_mean(const std::vector<double>& samples) {
+  require(!samples.empty(), "geometric_mean: empty sample");
+  double log_sum = 0.0;
+  for (double s : samples) {
+    require(s > 0.0, "geometric_mean: samples must be positive");
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+namespace {
+
+// Type-7 quantile (linear interpolation between order statistics).
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+BoxStats box_stats(std::vector<double> samples) {
+  require(!samples.empty(), "box_stats: empty sample");
+  std::sort(samples.begin(), samples.end());
+  BoxStats stats;
+  stats.count = samples.size();
+  stats.min = samples.front();
+  stats.max = samples.back();
+  stats.q1 = quantile_sorted(samples, 0.25);
+  stats.median = quantile_sorted(samples, 0.5);
+  stats.q3 = quantile_sorted(samples, 0.75);
+  return stats;
+}
+
+std::vector<ProfileCurve> performance_profiles(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<double>>& costs) {
+  require(labels.size() == costs.size(),
+          "performance_profiles: one label per method required");
+  require(!costs.empty(), "performance_profiles: no methods");
+  const std::size_t instances = costs.front().size();
+  for (const auto& row : costs) {
+    require(row.size() == instances,
+            "performance_profiles: ragged cost table");
+  }
+
+  // Per-instance best cost over all methods.
+  std::vector<double> best(instances,
+                           std::numeric_limits<double>::infinity());
+  for (const auto& row : costs) {
+    for (std::size_t i = 0; i < instances; ++i) {
+      if (std::isfinite(row[i])) best[i] = std::min(best[i], row[i]);
+    }
+  }
+
+  std::vector<ProfileCurve> curves;
+  curves.reserve(labels.size());
+  for (std::size_t m = 0; m < labels.size(); ++m) {
+    std::vector<double> ratios;
+    ratios.reserve(instances);
+    for (std::size_t i = 0; i < instances; ++i) {
+      if (std::isfinite(costs[m][i]) && std::isfinite(best[i]) &&
+          best[i] > 0.0) {
+        ratios.push_back(costs[m][i] / best[i]);
+      } else {
+        ratios.push_back(std::numeric_limits<double>::infinity());
+      }
+    }
+    std::sort(ratios.begin(), ratios.end());
+    ProfileCurve curve;
+    curve.label = labels[m];
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+      if (!std::isfinite(ratios[i])) break;
+      curve.x.push_back(ratios[i]);
+      curve.y.push_back(static_cast<double>(i + 1) /
+                        static_cast<double>(instances));
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+double profile_value_at(const ProfileCurve& curve, double ratio) {
+  // The profile is a right-continuous step function; find the last x <= ratio.
+  double value = 0.0;
+  for (std::size_t i = 0; i < curve.x.size(); ++i) {
+    if (curve.x[i] <= ratio) {
+      value = curve.y[i];
+    } else {
+      break;
+    }
+  }
+  return value;
+}
+
+}  // namespace ordo

@@ -1,0 +1,41 @@
+// Statistics used by the evaluation: geometric means (Tables 3-4), five-point
+// box summaries (Figs. 2, 3, 6) and Dolan–Moré performance profiles (Fig. 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ordo {
+
+/// Geometric mean of strictly positive samples.
+double geometric_mean(const std::vector<double>& samples);
+
+/// Five-point summary of a sample as drawn in the paper's boxplots.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  std::size_t count = 0;
+};
+
+/// Quartiles by linear interpolation (type-7, the gnuplot/NumPy default).
+BoxStats box_stats(std::vector<double> samples);
+
+/// One method's curve in a performance profile.
+struct ProfileCurve {
+  std::string label;
+  std::vector<double> x;  ///< performance ratios (>= 1)
+  std::vector<double> y;  ///< fraction of instances within ratio x
+};
+
+/// Dolan–Moré performance profiles. `costs[m][i]` is method m's cost on
+/// instance i (lower is better; non-finite marks failure). Curve m at ratio
+/// x gives the fraction of instances where method m is within a factor x of
+/// the per-instance best.
+std::vector<ProfileCurve> performance_profiles(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<double>>& costs);
+
+/// Fraction of instances for which curve `curve` is within factor `ratio` of
+/// the best (reads the step function produced by performance_profiles).
+double profile_value_at(const ProfileCurve& curve, double ratio);
+
+}  // namespace ordo

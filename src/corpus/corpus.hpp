@@ -1,0 +1,55 @@
+// Corpus assembly: a deterministic, scaled-down stand-in for the 490
+// SuiteSparse matrices of the study, plus named stand-ins for every matrix
+// the paper references by name (Fig. 1, Fig. 4, Table 5).
+//
+// The corpus mixes the same structural families the collection contains —
+// meshes/FEM, circuits, road networks, power-law graphs, genome chains,
+// saddle-point systems, banded and block matrices — in roughly the
+// collection's proportions. Matrix sizes are log-uniform; a slice of the
+// corpus gets an additional random symmetric permutation, mirroring
+// collection matrices whose stored order is unrelated to their structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/generators.hpp"
+#include "sparse/csr.hpp"
+
+namespace ordo {
+
+struct CorpusOptions {
+  /// Number of matrices to generate (the paper uses 490).
+  int count = 490;
+  /// Multiplies every matrix's target nonzero count. 1.0 gives a corpus of
+  /// roughly 2e3..6e5 nonzeros per matrix — about 1e3 times smaller than the
+  /// paper's 1e6..1e9 range; the performance model scales cache capacities
+  /// by a matching factor (see perfmodel/spmv_model.hpp).
+  double scale = 1.0;
+  /// Master seed; every entry derives its own seed from it.
+  std::uint64_t seed = 2023;
+};
+
+/// Reads ORDO_CORPUS_COUNT and ORDO_CORPUS_SCALE environment overrides.
+CorpusOptions corpus_options_from_env();
+
+struct CorpusEntry {
+  std::string group;  ///< structural family ("mesh2d", "circuit", ...)
+  std::string name;
+  bool spd = false;   ///< symmetric-positive-definite-like (Fig. 6 subset)
+  CsrMatrix matrix;
+};
+
+/// Generates the full corpus. Deterministic in options.seed.
+std::vector<CorpusEntry> generate_corpus(const CorpusOptions& options);
+
+/// Names of the paper's individually referenced matrices for which stand-ins
+/// exist: 333SP, nv2, audikw_1, HV15R, Freescale2, com-Amazon, kmer_V1r,
+/// delaunay_n24, europe_osm, Flan_1565, indochina-2004, kron_g500-logn21,
+/// mycielskian19, nlpkkt240, vas_stokes_4M.
+std::vector<std::string> named_standins();
+
+/// Generates the stand-in for one named matrix; `scale` as in CorpusOptions.
+CorpusEntry generate_named(const std::string& name, double scale);
+
+}  // namespace ordo

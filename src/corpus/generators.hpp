@@ -1,0 +1,84 @@
+// Synthetic sparse-matrix generators covering the structural families found
+// in the SuiteSparse Matrix Collection, from which the study draws its 490
+// matrices (DESIGN.md, substitution table). Every generator is deterministic
+// in its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace ordo {
+
+/// 2D grid Laplacian: 5-point (stencil=5) or 9-point (stencil=9) stencil.
+/// SPD, symmetric pattern, natural (banded) ordering. PDE discretisations.
+CsrMatrix gen_mesh2d(index_t nx, index_t ny, int stencil);
+
+/// 3D grid Laplacian: 7-point or 27-point stencil. SPD.
+CsrMatrix gen_mesh3d(index_t nx, index_t ny, index_t nz, int stencil);
+
+/// FEM-style matrix: a 2D mesh of nodes with `dofs` unknowns per node, so
+/// the pattern is made of small dense blocks (audikw_1-like solid
+/// mechanics). SPD-like.
+CsrMatrix gen_fem_blocked(index_t nodes_x, index_t nodes_y, int dofs);
+
+/// Road-network-like graph (europe_osm): random points on a grid joined to
+/// geometric near-neighbours plus a spanning path; degrees ~2-3, huge
+/// diameter, symmetric.
+CsrMatrix gen_road_network(index_t n, std::uint64_t seed);
+
+/// Delaunay-like random planar proximity graph (delaunay_nXX family).
+CsrMatrix gen_geometric(index_t n, double radius_factor, std::uint64_t seed);
+
+/// R-MAT power-law graph (kron_g500 / social networks). `scale` gives
+/// n = 2^scale vertices, edge_factor edges per vertex; pattern symmetrised.
+CsrMatrix gen_rmat(int scale, int edge_factor, double a, double b, double c,
+                   std::uint64_t seed);
+
+/// Community-structured graph (com-Amazon-like): stochastic block model with
+/// small dense communities plus sparse random inter-community edges.
+CsrMatrix gen_community(index_t n, index_t community_size, double inter_prob,
+                        std::uint64_t seed);
+
+/// de-Bruijn-like genome assembly graph (kmer_V1r): long chains with sparse
+/// branching, degree <= 4, extreme diameter.
+CsrMatrix gen_debruijn_chain(index_t n, double branch_prob,
+                             std::uint64_t seed);
+
+/// Circuit-simulation matrix (Freescale-like): very sparse rows plus a few
+/// dense rows/columns (power rails), unsymmetric pattern with full diagonal.
+CsrMatrix gen_circuit(index_t n, int dense_lines, double avg_degree,
+                      std::uint64_t seed);
+
+/// CFD-like matrix (HV15R-like): 3D stencil with `dofs` coupled unknowns per
+/// cell and a mildly unsymmetric pattern (upwinding).
+CsrMatrix gen_cfd(index_t nx, index_t ny, index_t nz, int dofs,
+                  std::uint64_t seed);
+
+/// KKT/saddle-point matrix (nlpkkt-like): [H Bᵀ; B 0] with H a 3D mesh
+/// Laplacian and B a sparse constraint coupling.
+CsrMatrix gen_kkt(index_t nx, index_t ny, index_t nz, std::uint64_t seed);
+
+/// Banded matrix with the given half-bandwidth and in-band fill density.
+CsrMatrix gen_banded(index_t n, index_t half_bandwidth, double density,
+                     std::uint64_t seed);
+
+/// Block-diagonal matrix of dense blocks with sparse random coupling between
+/// consecutive blocks.
+CsrMatrix gen_block_diagonal(index_t num_blocks, index_t block_size,
+                             double coupling, std::uint64_t seed);
+
+/// Uniform (Erdős–Rényi) random pattern with a full diagonal.
+CsrMatrix gen_random_uniform(index_t n, double avg_degree,
+                             std::uint64_t seed);
+
+/// Mycielskian graph M_k (mycielskian19 family): triangle-free graphs with
+/// growing chromatic number, built by the Mycielski construction starting
+/// from a single edge (M_2 = K_2). Dense-ish, highly irregular.
+CsrMatrix gen_mycielskian(int k);
+
+/// Tall-and-skinny dense matrix stored in CSR — the Section 4.2 bandwidth
+/// reference (96000 x 4000 in the paper).
+CsrMatrix gen_dense_tall_skinny(index_t rows, index_t cols);
+
+}  // namespace ordo

@@ -1,0 +1,83 @@
+#include "features/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spmv/spmv.hpp"
+
+namespace ordo {
+
+index_t matrix_bandwidth(const CsrMatrix& a) {
+  index_t bandwidth = 0;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    if (cols.empty()) continue;
+    // Columns are sorted: only the extremes can maximise |i - j|.
+    bandwidth = std::max({bandwidth, std::abs(i - cols.front()),
+                          std::abs(i - cols.back())});
+  }
+  return bandwidth;
+}
+
+std::int64_t matrix_profile(const CsrMatrix& a) {
+  std::int64_t profile = 0;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    if (!cols.empty() && cols.front() < i) {
+      profile += static_cast<std::int64_t>(i - cols.front());
+    }
+  }
+  return profile;
+}
+
+std::int64_t off_diagonal_block_nonzeros(const CsrMatrix& a,
+                                         index_t num_blocks) {
+  require(num_blocks >= 1,
+          "off_diagonal_block_nonzeros: need at least one block");
+  const index_t n = std::max(a.num_rows(), a.num_cols());
+  if (n == 0) return 0;
+  // Block of index v under an even split into num_blocks blocks.
+  auto block_of = [&](index_t v) {
+    return static_cast<index_t>(
+        (static_cast<std::int64_t>(v) * num_blocks) / n);
+  };
+  std::int64_t count = 0;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const index_t row_block = block_of(i);
+    for (index_t j : a.row_cols(i)) {
+      if (block_of(j) != row_block) ++count;
+    }
+  }
+  return count;
+}
+
+double load_imbalance_1d(const CsrMatrix& a, int num_threads) {
+  if (a.num_nonzeros() == 0) return 1.0;
+  const std::vector<offset_t> counts = nnz_per_thread_1d(a, num_threads);
+  const offset_t max_count = *std::max_element(counts.begin(), counts.end());
+  const double mean = static_cast<double>(a.num_nonzeros()) /
+                      static_cast<double>(num_threads);
+  return static_cast<double>(max_count) / mean;
+}
+
+double load_imbalance_2d(const CsrMatrix& a, int num_threads) {
+  if (a.num_nonzeros() == 0) return 1.0;
+  const std::vector<offset_t> counts = nnz_per_thread_2d(a, num_threads);
+  const offset_t max_count = *std::max_element(counts.begin(), counts.end());
+  const double mean = static_cast<double>(a.num_nonzeros()) /
+                      static_cast<double>(num_threads);
+  return static_cast<double>(max_count) / mean;
+}
+
+FeatureReport compute_features(const CsrMatrix& a, int num_threads) {
+  FeatureReport report;
+  report.bandwidth = matrix_bandwidth(a);
+  report.profile = matrix_profile(a);
+  report.off_diagonal_nonzeros =
+      off_diagonal_block_nonzeros(a, static_cast<index_t>(num_threads));
+  report.imbalance_1d = load_imbalance_1d(a, num_threads);
+  report.imbalance_2d = load_imbalance_2d(a, num_threads);
+  return report;
+}
+
+}  // namespace ordo

@@ -1,0 +1,54 @@
+// Order-dependent matrix features (Section 3.2 of the paper).
+//
+// These four features are the quantities the study correlates with SpMV
+// performance after reordering:
+//  * bandwidth  — largest |i - j| over the nonzeros;
+//  * profile    — sum over rows of the distance from the leftmost nonzero to
+//                 the diagonal (Gibbs, Poole & Stockmeyer);
+//  * off-diagonal nonzero count — nonzeros outside the k×k diagonal blocks
+//                 of an even row/column blocking, equivalent to the edge-cut
+//                 objective of GP under the 1D row split;
+//  * load imbalance factor — max nonzeros per thread over the mean.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace ordo {
+
+/// max_{a_ij != 0} |i - j|; 0 for an empty matrix.
+index_t matrix_bandwidth(const CsrMatrix& a);
+
+/// sum_i max(0, i - min{ j : a_ij != 0 }), i.e. the (lower) profile. Rows
+/// whose leftmost entry lies right of the diagonal contribute 0.
+std::int64_t matrix_profile(const CsrMatrix& a);
+
+/// Number of nonzeros falling outside the diagonal blocks when the matrix is
+/// partitioned into num_blocks-by-num_blocks equal blocks. With num_blocks
+/// equal to the thread count this is the edge-cut the GP ordering minimises.
+std::int64_t off_diagonal_block_nonzeros(const CsrMatrix& a,
+                                         index_t num_blocks);
+
+/// Imbalance factor of the 1D row-split SpMV: max nonzeros assigned to any
+/// thread divided by the mean per thread. 1.0 indicates perfect balance.
+double load_imbalance_1d(const CsrMatrix& a, int num_threads);
+
+/// Imbalance factor of the 2D nonzero-split SpMV; equals 1 up to rounding
+/// (the split differs by at most one nonzero per thread).
+double load_imbalance_2d(const CsrMatrix& a, int num_threads);
+
+/// A bundled feature report for one matrix under one ordering.
+struct FeatureReport {
+  index_t bandwidth = 0;
+  std::int64_t profile = 0;
+  std::int64_t off_diagonal_nonzeros = 0;
+  double imbalance_1d = 1.0;
+  double imbalance_2d = 1.0;
+};
+
+/// Computes all features; `num_threads` sets both the blocking for the
+/// off-diagonal count and the thread count for the imbalance factors.
+FeatureReport compute_features(const CsrMatrix& a, int num_threads);
+
+}  // namespace ordo

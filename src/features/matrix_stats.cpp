@@ -1,0 +1,67 @@
+#include "features/matrix_stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/csr_ops.hpp"
+
+namespace ordo {
+
+MatrixStats compute_matrix_stats(const CsrMatrix& a) {
+  MatrixStats stats;
+  stats.rows = a.num_rows();
+  stats.cols = a.num_cols();
+  stats.nnz = a.num_nonzeros();
+  if (a.num_rows() == 0) return stats;
+
+  stats.avg_row_nnz =
+      static_cast<double>(stats.nnz) / static_cast<double>(stats.rows);
+  stats.min_row_nnz = a.num_nonzeros();
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const offset_t row_nnz = a.row_nonzeros(i);
+    stats.max_row_nnz = std::max(stats.max_row_nnz, row_nnz);
+    stats.min_row_nnz = std::min(stats.min_row_nnz, row_nnz);
+    if (row_nnz == 0) stats.empty_rows++;
+  }
+
+  if (a.is_square()) {
+    stats.diagonal_coverage = static_cast<double>(diagonal_nonzeros(a)) /
+                              static_cast<double>(a.num_rows());
+    // Structural symmetry: off-diagonal entries with an existing mirror.
+    const CsrMatrix at = transpose(a);
+    std::int64_t off_diagonal = 0, mirrored = 0;
+    for (index_t i = 0; i < a.num_rows(); ++i) {
+      const auto cols = a.row_cols(i);
+      const auto t_cols = at.row_cols(i);
+      for (index_t j : cols) {
+        if (j == i) continue;
+        ++off_diagonal;
+        if (std::binary_search(t_cols.begin(), t_cols.end(), j)) ++mirrored;
+      }
+    }
+    stats.symmetry = off_diagonal == 0
+                         ? 1.0
+                         : static_cast<double>(mirrored) /
+                               static_cast<double>(off_diagonal);
+  }
+
+  // Gini coefficient of the row-length distribution.
+  std::vector<offset_t> lengths(static_cast<std::size_t>(a.num_rows()));
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    lengths[static_cast<std::size_t>(i)] = a.row_nonzeros(i);
+  }
+  std::sort(lengths.begin(), lengths.end());
+  const double total = static_cast<double>(stats.nnz);
+  if (total > 0) {
+    double weighted = 0.0;
+    for (std::size_t k = 0; k < lengths.size(); ++k) {
+      weighted += static_cast<double>(k + 1) * static_cast<double>(lengths[k]);
+    }
+    const double n = static_cast<double>(lengths.size());
+    stats.row_skew = std::max(0.0, (2.0 * weighted) / (n * total) -
+                                       (n + 1.0) / n);
+  }
+  return stats;
+}
+
+}  // namespace ordo

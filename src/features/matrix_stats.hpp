@@ -1,0 +1,34 @@
+// Descriptive matrix statistics, used to characterise the corpus the way the
+// paper characterises its SuiteSparse selection (Section 4.1) and to feed
+// the per-family breakdown of the corpus report example.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace ordo {
+
+struct MatrixStats {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::int64_t nnz = 0;
+  double avg_row_nnz = 0.0;
+  offset_t max_row_nnz = 0;
+  offset_t min_row_nnz = 0;
+  index_t empty_rows = 0;
+  /// Structural symmetry: fraction of off-diagonal entries whose mirror
+  /// entry also exists (1.0 for symmetric patterns).
+  double symmetry = 1.0;
+  /// Fraction of rows with a structurally nonzero diagonal entry.
+  double diagonal_coverage = 0.0;
+  /// Gini-style skew of the row-length distribution in [0, 1): 0 means
+  /// perfectly uniform rows, values near 1 indicate a heavy-tailed
+  /// (power-law) degree profile.
+  double row_skew = 0.0;
+};
+
+/// Computes all statistics in O(nnz log nnz).
+MatrixStats compute_matrix_stats(const CsrMatrix& a);
+
+}  // namespace ordo

@@ -1,0 +1,156 @@
+#include "partition/fm_refinement.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "partition/partitioning.hpp"
+
+namespace ordo {
+
+std::int64_t fm_move_gain(const Graph& g, const std::vector<index_t>& part,
+                          index_t v) {
+  std::int64_t external = 0, internal = 0;
+  const auto neighbors = g.neighbors(v);
+  const offset_t base = g.adj_ptr()[v];
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    const index_t w = g.edge_weight(base + static_cast<offset_t>(k));
+    if (part[static_cast<std::size_t>(neighbors[k])] !=
+        part[static_cast<std::size_t>(v)]) {
+      external += w;
+    } else {
+      internal += w;
+    }
+  }
+  return external - internal;
+}
+
+namespace {
+
+// One FM pass. Returns the improvement achieved (>= 0); `part` is updated to
+// the best prefix of the move sequence.
+//
+// Only *boundary* vertices (those with a neighbour across the cut) are
+// seeded into the gain heap — interior vertices can only become worth moving
+// after a neighbour moves, at which point the update loop inserts them. This
+// keeps a pass proportional to the cut region rather than the whole graph.
+std::int64_t fm_pass(const Graph& g, std::vector<index_t>& part,
+                     const BisectionBalance& balance) {
+  const index_t n = g.num_vertices();
+  std::vector<std::int64_t> gain(static_cast<std::size_t>(n));
+  std::vector<bool> locked(static_cast<std::size_t>(n), false);
+  std::vector<bool> queued(static_cast<std::size_t>(n), false);
+  // Max-heap of (gain, vertex) with lazy invalidation: stale entries are
+  // skipped when their recorded gain no longer matches.
+  std::priority_queue<std::pair<std::int64_t, index_t>> heap;
+  for (index_t v = 0; v < n; ++v) {
+    bool boundary = false;
+    for (index_t u : g.neighbors(v)) {
+      if (part[static_cast<std::size_t>(u)] !=
+          part[static_cast<std::size_t>(v)]) {
+        boundary = true;
+        break;
+      }
+    }
+    if (boundary) {
+      gain[static_cast<std::size_t>(v)] = fm_move_gain(g, part, v);
+      heap.emplace(gain[static_cast<std::size_t>(v)], v);
+      queued[static_cast<std::size_t>(v)] = true;
+    }
+  }
+
+  std::int64_t weight0 = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] == 0) weight0 += g.vertex_weight(v);
+  }
+
+  std::vector<index_t> moves;
+  moves.reserve(static_cast<std::size_t>(n));
+  std::int64_t cumulative = 0, best_cumulative = 0;
+  std::size_t best_prefix = 0;
+  // Deferred entries whose move would violate balance right now; they are
+  // reconsidered after the next successful move shifts the weights.
+  std::vector<std::pair<std::int64_t, index_t>> deferred;
+  // Classic FM moves every vertex once per pass; in practice all improvement
+  // comes early, so a pass aborts after a long run of non-improving moves.
+  const std::size_t stall_limit = 64 + static_cast<std::size_t>(n) / 32;
+
+  while (!heap.empty()) {
+    if (moves.size() - best_prefix > stall_limit) break;
+    const auto [g_top, v] = heap.top();
+    heap.pop();
+    if (locked[static_cast<std::size_t>(v)] ||
+        g_top != gain[static_cast<std::size_t>(v)]) {
+      continue;  // stale entry
+    }
+    const index_t from = part[static_cast<std::size_t>(v)];
+    const std::int64_t new_weight0 =
+        from == 0 ? weight0 - g.vertex_weight(v) : weight0 + g.vertex_weight(v);
+    if (new_weight0 < balance.min_weight0 ||
+        new_weight0 > balance.max_weight0) {
+      deferred.emplace_back(g_top, v);
+      continue;
+    }
+
+    // Commit the move and lock the vertex.
+    part[static_cast<std::size_t>(v)] = 1 - from;
+    weight0 = new_weight0;
+    locked[static_cast<std::size_t>(v)] = true;
+    cumulative += g_top;
+    moves.push_back(v);
+    if (cumulative > best_cumulative) {
+      best_cumulative = cumulative;
+      best_prefix = moves.size();
+    }
+
+    // Update neighbour gains; vertices newly touching the boundary get a
+    // fresh gain computation and enter the heap.
+    const auto neighbors = g.neighbors(v);
+    const offset_t base = g.adj_ptr()[v];
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const index_t u = neighbors[k];
+      if (locked[static_cast<std::size_t>(u)]) continue;
+      if (!queued[static_cast<std::size_t>(u)]) {
+        gain[static_cast<std::size_t>(u)] = fm_move_gain(g, part, u);
+        queued[static_cast<std::size_t>(u)] = true;
+      } else {
+        const index_t w = g.edge_weight(base + static_cast<offset_t>(k));
+        // v moved to u's side iff their parts are now equal.
+        if (part[static_cast<std::size_t>(u)] ==
+            part[static_cast<std::size_t>(v)]) {
+          gain[static_cast<std::size_t>(u)] -= 2 * w;
+        } else {
+          gain[static_cast<std::size_t>(u)] += 2 * w;
+        }
+      }
+      heap.emplace(gain[static_cast<std::size_t>(u)], u);
+    }
+    // Balance shifted: blocked vertices may be movable now.
+    for (const auto& entry : deferred) heap.push(entry);
+    deferred.clear();
+  }
+
+  // Roll back every move after the best prefix.
+  for (std::size_t k = moves.size(); k > best_prefix; --k) {
+    const index_t v = moves[k - 1];
+    part[static_cast<std::size_t>(v)] = 1 - part[static_cast<std::size_t>(v)];
+  }
+  return best_cumulative;
+}
+
+}  // namespace
+
+std::int64_t fm_refine_bisection(const Graph& g, std::vector<index_t>& part,
+                                 const BisectionBalance& balance,
+                                 int max_passes) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "fm_refine_bisection: partition size mismatch");
+  std::int64_t total = 0;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const std::int64_t improvement = fm_pass(g, part, balance);
+    total += improvement;
+    if (improvement <= 0) break;
+  }
+  return total;
+}
+
+}  // namespace ordo

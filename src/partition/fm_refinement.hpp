@@ -1,0 +1,34 @@
+// Fiduccia–Mattheyses (FM) boundary refinement for bisections.
+//
+// Each pass repeatedly moves the highest-gain movable vertex to the other
+// side (respecting the balance constraint), locks it, and finally rolls back
+// to the best prefix of moves seen during the pass. Passes continue until no
+// improvement is found or the pass limit is reached. Gain of moving v is
+// (weight of v's edges crossing the cut) - (weight of its internal edges).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ordo {
+
+/// Balance constraint for a bisection: part 0's weight must stay within
+/// [min_weight0, max_weight0].
+struct BisectionBalance {
+  std::int64_t min_weight0 = 0;
+  std::int64_t max_weight0 = 0;
+};
+
+/// Refines `part` (0/1 per vertex) in place. Returns the cut improvement
+/// (old cut - new cut, always >= 0).
+std::int64_t fm_refine_bisection(const Graph& g, std::vector<index_t>& part,
+                                 const BisectionBalance& balance,
+                                 int max_passes);
+
+/// Gain of moving vertex v to the opposite side under partition `part`.
+std::int64_t fm_move_gain(const Graph& g, const std::vector<index_t>& part,
+                          index_t v);
+
+}  // namespace ordo

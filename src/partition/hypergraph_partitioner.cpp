@@ -1,0 +1,509 @@
+#include "partition/hypergraph_partitioner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <random>
+
+namespace ordo {
+namespace {
+
+// Nets larger than this are skipped when scoring match candidates; huge nets
+// connect nearly everything and add cost without guiding the matching.
+constexpr std::size_t kMaxNetSizeForMatching = 64;
+
+std::vector<index_t> heavy_connectivity_matching(const Hypergraph& h,
+                                                 std::uint64_t seed) {
+  const index_t n = h.num_vertices();
+  std::vector<index_t> match(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> visit_order(static_cast<std::size_t>(n));
+  std::iota(visit_order.begin(), visit_order.end(), index_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(visit_order.begin(), visit_order.end(), rng);
+
+  // Scratch scoring array, reset per vertex via a touched list.
+  std::vector<index_t> score(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> touched;
+  for (index_t v : visit_order) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    touched.clear();
+    for (index_t e : h.vertex_nets(v)) {
+      const auto pins = h.net_pins(e);
+      if (pins.size() > kMaxNetSizeForMatching) continue;
+      for (index_t u : pins) {
+        if (u == v || match[static_cast<std::size_t>(u)] >= 0) continue;
+        if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
+        score[static_cast<std::size_t>(u)] += h.net_weight(e);
+      }
+    }
+    index_t best = -1, best_score = 0;
+    for (index_t u : touched) {
+      if (score[static_cast<std::size_t>(u)] > best_score ||
+          (score[static_cast<std::size_t>(u)] == best_score && best >= 0 &&
+           u < best)) {
+        best = u;
+        best_score = score[static_cast<std::size_t>(u)];
+      }
+      score[static_cast<std::size_t>(u)] = 0;
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;
+    }
+  }
+  return match;
+}
+
+}  // namespace
+
+HypergraphCoarseLevel coarsen_hypergraph_once(const Hypergraph& h,
+                                              std::uint64_t seed) {
+  const std::vector<index_t> match = heavy_connectivity_matching(h, seed);
+  const index_t n = h.num_vertices();
+
+  HypergraphCoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  index_t coarse_count = 0;
+  std::vector<index_t> coarse_weights;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t partner = match[static_cast<std::size_t>(v)];
+    if (partner >= v) {
+      level.fine_to_coarse[static_cast<std::size_t>(v)] = coarse_count;
+      index_t weight = h.vertex_weight(v);
+      if (partner != v) {
+        level.fine_to_coarse[static_cast<std::size_t>(partner)] = coarse_count;
+        weight += h.vertex_weight(partner);
+      }
+      coarse_weights.push_back(weight);
+      ++coarse_count;
+    }
+  }
+
+  // Remap nets, deduplicating pins; drop nets with fewer than two pins.
+  std::vector<offset_t> net_ptr{0};
+  std::vector<index_t> pins;
+  std::vector<index_t> net_weights;
+  std::vector<index_t> seen_at(static_cast<std::size_t>(coarse_count), -1);
+  for (index_t e = 0; e < h.num_nets(); ++e) {
+    const std::size_t begin = pins.size();
+    for (index_t pin : h.net_pins(e)) {
+      const index_t c = level.fine_to_coarse[static_cast<std::size_t>(pin)];
+      if (seen_at[static_cast<std::size_t>(c)] != e) {
+        seen_at[static_cast<std::size_t>(c)] = e;
+        pins.push_back(c);
+      }
+    }
+    if (pins.size() - begin < 2) {
+      pins.resize(begin);  // degenerate net: cannot be cut, drop it
+    } else {
+      net_ptr.push_back(static_cast<offset_t>(pins.size()));
+      net_weights.push_back(h.net_weight(e));
+    }
+  }
+  level.hypergraph =
+      Hypergraph(coarse_count, std::move(net_ptr), std::move(pins),
+                 std::move(coarse_weights), std::move(net_weights));
+  return level;
+}
+
+namespace {
+
+struct HgBalance {
+  std::int64_t min_weight0 = 0;
+  std::int64_t max_weight0 = 0;
+};
+
+HgBalance make_balance(const Hypergraph& h, double target_fraction,
+                       double tolerance) {
+  const double total = static_cast<double>(h.total_vertex_weight());
+  return HgBalance{
+      static_cast<std::int64_t>(
+          std::floor(total * target_fraction * (1.0 - tolerance))),
+      static_cast<std::int64_t>(
+          std::ceil(total * target_fraction * (1.0 + tolerance)))};
+}
+
+// Grows part 0 by hypergraph BFS from `start` until it reaches the target
+// weight, restarting from an unassigned vertex when the frontier empties.
+std::vector<index_t> grow_bisection(const Hypergraph& h, index_t start,
+                                    std::int64_t target_weight) {
+  const index_t n = h.num_vertices();
+  std::vector<index_t> part(static_cast<std::size_t>(n), 1);
+  std::vector<bool> queued(static_cast<std::size_t>(n), false);
+  std::queue<index_t> frontier;
+  frontier.push(start);
+  queued[static_cast<std::size_t>(start)] = true;
+  std::int64_t weight0 = 0;
+  index_t scan = 0;
+  while (weight0 < target_weight) {
+    if (frontier.empty()) {
+      while (scan < n && part[static_cast<std::size_t>(scan)] == 0) ++scan;
+      if (scan >= n) break;
+      if (!queued[static_cast<std::size_t>(scan)]) {
+        frontier.push(scan);
+        queued[static_cast<std::size_t>(scan)] = true;
+      } else {
+        ++scan;
+        continue;
+      }
+    }
+    const index_t v = frontier.front();
+    frontier.pop();
+    if (part[static_cast<std::size_t>(v)] == 0) continue;
+    part[static_cast<std::size_t>(v)] = 0;
+    weight0 += h.vertex_weight(v);
+    for (index_t e : h.vertex_nets(v)) {
+      const auto pins = h.net_pins(e);
+      if (pins.size() > kMaxNetSizeForMatching * 4) continue;
+      for (index_t u : pins) {
+        if (part[static_cast<std::size_t>(u)] == 1 &&
+            !queued[static_cast<std::size_t>(u)]) {
+          queued[static_cast<std::size_t>(u)] = true;
+          frontier.push(u);
+        }
+      }
+    }
+  }
+  return part;
+}
+
+// One FM pass under the cut-net metric. pins_in[e][p] tracks how many pins
+// of net e lie in part p. Only boundary vertices (pins of cut nets) are
+// seeded into the gain heap, and gains are maintained with exact delta
+// updates on each move — a net's pins are only revisited when its pin counts
+// cross a critical value (0, 1 or 2 on either side), which is the standard
+// FM trick that keeps a pass near-linear in the number of pins.
+std::int64_t hypergraph_fm_pass(const Hypergraph& h,
+                                std::vector<index_t>& part,
+                                const HgBalance& balance) {
+  const index_t n = h.num_vertices();
+  const index_t num_nets = h.num_nets();
+  std::vector<std::array<index_t, 2>> pins_in(
+      static_cast<std::size_t>(num_nets), {0, 0});
+  for (index_t e = 0; e < num_nets; ++e) {
+    for (index_t pin : h.net_pins(e)) {
+      pins_in[static_cast<std::size_t>(e)]
+             [static_cast<std::size_t>(part[static_cast<std::size_t>(pin)])]++;
+    }
+  }
+
+  // Cut-net gain of moving v from side s to 1-s:
+  //   +w(e) for nets where v is the last pin on side s (net becomes uncut),
+  //   -w(e) for nets fully on side s with >1 pins (net becomes cut).
+  auto move_gain = [&](index_t v) {
+    const index_t s = part[static_cast<std::size_t>(v)];
+    std::int64_t gain = 0;
+    for (index_t e : h.vertex_nets(v)) {
+      const auto& counts = pins_in[static_cast<std::size_t>(e)];
+      const index_t same = counts[static_cast<std::size_t>(s)];
+      const index_t other = counts[static_cast<std::size_t>(1 - s)];
+      if (same == 1 && other >= 1) gain += h.net_weight(e);
+      if (other == 0 && same >= 2) gain -= h.net_weight(e);
+    }
+    return gain;
+  };
+
+  std::vector<std::int64_t> gain(static_cast<std::size_t>(n));
+  std::vector<bool> locked(static_cast<std::size_t>(n), false);
+  std::vector<bool> queued(static_cast<std::size_t>(n), false);
+  std::priority_queue<std::pair<std::int64_t, index_t>> heap;
+  auto enqueue = [&](index_t v) {
+    if (queued[static_cast<std::size_t>(v)] ||
+        locked[static_cast<std::size_t>(v)]) {
+      return;
+    }
+    gain[static_cast<std::size_t>(v)] = move_gain(v);
+    queued[static_cast<std::size_t>(v)] = true;
+    heap.emplace(gain[static_cast<std::size_t>(v)], v);
+  };
+  for (index_t e = 0; e < num_nets; ++e) {
+    const auto& counts = pins_in[static_cast<std::size_t>(e)];
+    if (counts[0] > 0 && counts[1] > 0) {
+      for (index_t pin : h.net_pins(e)) enqueue(pin);
+    }
+  }
+
+  std::int64_t weight0 = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] == 0) weight0 += h.vertex_weight(v);
+  }
+
+  std::vector<index_t> moves;
+  std::int64_t cumulative = 0, best_cumulative = 0;
+  std::size_t best_prefix = 0;
+  std::vector<std::pair<std::int64_t, index_t>> deferred;
+  // Abort the pass after a long run of non-improving moves (see the graph
+  // FM for rationale).
+  const std::size_t stall_limit = 64 + static_cast<std::size_t>(n) / 32;
+  while (!heap.empty()) {
+    if (moves.size() - best_prefix > stall_limit) break;
+    const auto [g_top, v] = heap.top();
+    heap.pop();
+    if (locked[static_cast<std::size_t>(v)] ||
+        g_top != gain[static_cast<std::size_t>(v)]) {
+      continue;  // stale entry
+    }
+    const index_t from = part[static_cast<std::size_t>(v)];
+    const std::int64_t new_weight0 =
+        from == 0 ? weight0 - h.vertex_weight(v) : weight0 + h.vertex_weight(v);
+    if (new_weight0 < balance.min_weight0 ||
+        new_weight0 > balance.max_weight0) {
+      deferred.emplace_back(g_top, v);
+      continue;
+    }
+
+    part[static_cast<std::size_t>(v)] = 1 - from;
+    weight0 = new_weight0;
+    locked[static_cast<std::size_t>(v)] = true;
+    cumulative += g_top;
+    moves.push_back(v);
+    if (cumulative > best_cumulative) {
+      best_cumulative = cumulative;
+      best_prefix = moves.size();
+    }
+
+    // Vertices that newly reach the boundary are enqueued only after every
+    // net of v has had its counts updated, so their full gain is computed
+    // against the post-move state.
+    std::vector<index_t> newly_boundary;
+    for (index_t e : h.vertex_nets(v)) {
+      auto& counts = pins_in[static_cast<std::size_t>(e)];
+      // Pin counts *before* the move; v still counts toward `from`.
+      const index_t f = counts[static_cast<std::size_t>(from)];
+      const index_t t = counts[static_cast<std::size_t>(1 - from)];
+      const index_t w = h.net_weight(e);
+      // Delta rules for the cut-net gain (derived from the gain definition
+      // above): a pin's gain only changes when the net's counts cross a
+      // critical value.
+      if (f == 1 || f == 2 || t == 0 || t == 1) {
+        for (index_t u : h.net_pins(e)) {
+          if (u == v || locked[static_cast<std::size_t>(u)]) continue;
+          if (!queued[static_cast<std::size_t>(u)]) {
+            newly_boundary.push_back(u);
+            continue;
+          }
+          std::int64_t delta = 0;
+          if (part[static_cast<std::size_t>(u)] == from) {
+            if (f == 2) delta += w;  // u becomes the last `from` pin
+            if (t == 0) delta += w;  // e is no longer uncut-on-`from`
+          } else {
+            if (f == 1) delta -= w;  // e becomes uncut-on-`to`
+            if (t == 1) delta -= w;  // u is no longer the last `to` pin
+          }
+          if (delta != 0) {
+            gain[static_cast<std::size_t>(u)] += delta;
+            heap.emplace(gain[static_cast<std::size_t>(u)], u);
+          }
+        }
+      }
+      counts[static_cast<std::size_t>(from)]--;
+      counts[static_cast<std::size_t>(1 - from)]++;
+    }
+    for (index_t u : newly_boundary) enqueue(u);
+    for (const auto& entry : deferred) heap.push(entry);
+    deferred.clear();
+  }
+
+  for (std::size_t k = moves.size(); k > best_prefix; --k) {
+    const index_t v = moves[k - 1];
+    part[static_cast<std::size_t>(v)] = 1 - part[static_cast<std::size_t>(v)];
+  }
+  return best_cumulative;
+}
+
+std::int64_t hypergraph_fm_refine(const Hypergraph& h,
+                                  std::vector<index_t>& part,
+                                  const HgBalance& balance, int max_passes) {
+  std::int64_t total = 0;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const std::int64_t improvement = hypergraph_fm_pass(h, part, balance);
+    total += improvement;
+    if (improvement <= 0) break;
+  }
+  return total;
+}
+
+struct HgSubgraph {
+  Hypergraph hypergraph;
+  std::vector<index_t> to_parent;
+};
+
+HgSubgraph induced_sub_hypergraph(const Hypergraph& h,
+                                  const std::vector<index_t>& part,
+                                  index_t which) {
+  HgSubgraph sub;
+  std::vector<index_t> to_sub(static_cast<std::size_t>(h.num_vertices()), -1);
+  std::vector<index_t> vweights;
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    if (part[static_cast<std::size_t>(v)] == which) {
+      to_sub[static_cast<std::size_t>(v)] =
+          static_cast<index_t>(sub.to_parent.size());
+      sub.to_parent.push_back(v);
+      vweights.push_back(h.vertex_weight(v));
+    }
+  }
+  std::vector<offset_t> net_ptr{0};
+  std::vector<index_t> pins;
+  std::vector<index_t> net_weights;
+  for (index_t e = 0; e < h.num_nets(); ++e) {
+    const std::size_t begin = pins.size();
+    for (index_t pin : h.net_pins(e)) {
+      const index_t sv = to_sub[static_cast<std::size_t>(pin)];
+      if (sv >= 0) pins.push_back(sv);
+    }
+    if (pins.size() - begin < 2) {
+      pins.resize(begin);
+    } else {
+      net_ptr.push_back(static_cast<offset_t>(pins.size()));
+      net_weights.push_back(h.net_weight(e));
+    }
+  }
+  sub.hypergraph = Hypergraph(static_cast<index_t>(sub.to_parent.size()),
+                              std::move(net_ptr), std::move(pins),
+                              std::move(vweights), std::move(net_weights));
+  return sub;
+}
+
+void recursive_bisect_hg(const Hypergraph& h, const PartitionOptions& options,
+                         index_t num_parts, index_t first_part,
+                         const std::vector<index_t>& to_parent,
+                         std::vector<index_t>& out_part, std::uint64_t seed) {
+  if (num_parts <= 1 || h.num_vertices() == 0) {
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      out_part[static_cast<std::size_t>(
+          to_parent[static_cast<std::size_t>(v)])] = first_part;
+    }
+    return;
+  }
+  const index_t left_parts = num_parts / 2;
+  const index_t right_parts = num_parts - left_parts;
+  const double target_fraction =
+      static_cast<double>(left_parts) / static_cast<double>(num_parts);
+
+  PartitionOptions bisect_options = options;
+  bisect_options.seed = seed;
+  const PartitionResult bisection =
+      bisect_hypergraph(h, target_fraction, bisect_options);
+
+  const HgSubgraph left = induced_sub_hypergraph(h, bisection.part, 0);
+  const HgSubgraph right = induced_sub_hypergraph(h, bisection.part, 1);
+  std::vector<index_t> left_map(left.to_parent.size());
+  for (std::size_t i = 0; i < left.to_parent.size(); ++i) {
+    left_map[i] = to_parent[static_cast<std::size_t>(left.to_parent[i])];
+  }
+  std::vector<index_t> right_map(right.to_parent.size());
+  for (std::size_t i = 0; i < right.to_parent.size(); ++i) {
+    right_map[i] = to_parent[static_cast<std::size_t>(right.to_parent[i])];
+  }
+  recursive_bisect_hg(left.hypergraph, options, left_parts, first_part,
+                      left_map, out_part, seed * 6364136223846793005ULL + 1);
+  recursive_bisect_hg(right.hypergraph, options, right_parts,
+                      first_part + left_parts, right_map, out_part,
+                      seed * 6364136223846793005ULL + 2);
+}
+
+}  // namespace
+
+PartitionResult bisect_hypergraph(const Hypergraph& h, double target_fraction,
+                                  const PartitionOptions& options) {
+  require(h.num_vertices() > 0, "bisect_hypergraph: empty hypergraph");
+
+  std::vector<HypergraphCoarseLevel> hierarchy;
+  const Hypergraph* current = &h;
+  std::uint64_t seed = options.seed;
+  while (current->num_vertices() > options.coarsen_to) {
+    HypergraphCoarseLevel level = coarsen_hypergraph_once(*current, seed++);
+    if (level.hypergraph.num_vertices() >
+        static_cast<index_t>(0.9 * current->num_vertices())) {
+      break;
+    }
+    hierarchy.push_back(std::move(level));
+    current = &hierarchy.back().hypergraph;
+  }
+
+  const std::int64_t target_weight = static_cast<std::int64_t>(
+      static_cast<double>(current->total_vertex_weight()) * target_fraction +
+      0.5);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<index_t> dist(0, current->num_vertices() - 1);
+  std::vector<index_t> part = grow_bisection(*current, dist(rng), target_weight);
+  hypergraph_fm_refine(
+      *current, part,
+      make_balance(*current, target_fraction, options.imbalance_tolerance),
+      options.refine_passes);
+
+  for (std::size_t level = hierarchy.size(); level > 0; --level) {
+    const Hypergraph& fine =
+        level >= 2 ? hierarchy[level - 2].hypergraph : h;
+    const std::vector<index_t>& fine_to_coarse =
+        hierarchy[level - 1].fine_to_coarse;
+    std::vector<index_t> fine_part(
+        static_cast<std::size_t>(fine.num_vertices()));
+    for (index_t v = 0; v < fine.num_vertices(); ++v) {
+      fine_part[static_cast<std::size_t>(v)] = part[static_cast<std::size_t>(
+          fine_to_coarse[static_cast<std::size_t>(v)])];
+    }
+    part = std::move(fine_part);
+    hypergraph_fm_refine(
+        fine, part,
+        make_balance(fine, target_fraction, options.imbalance_tolerance),
+        options.refine_passes);
+  }
+
+  PartitionResult result;
+  result.part = std::move(part);
+  result.num_parts = 2;
+  result.cut = compute_cut_nets(h, result.part);
+  std::int64_t weight0 = 0;
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    if (result.part[static_cast<std::size_t>(v)] == 0) {
+      weight0 += h.vertex_weight(v);
+    }
+  }
+  const double average = static_cast<double>(h.total_vertex_weight()) / 2.0;
+  result.imbalance =
+      average > 0
+          ? std::max(static_cast<double>(weight0),
+                     static_cast<double>(h.total_vertex_weight() - weight0)) /
+                average
+          : 1.0;
+  return result;
+}
+
+PartitionResult partition_hypergraph(const Hypergraph& h,
+                                     const PartitionOptions& options) {
+  require(options.num_parts >= 1,
+          "partition_hypergraph: num_parts must be >= 1");
+  PartitionResult result;
+  result.part.assign(static_cast<std::size_t>(h.num_vertices()), 0);
+  result.num_parts = options.num_parts;
+  if (options.num_parts > 1 && h.num_vertices() > 0) {
+    std::vector<index_t> to_parent(static_cast<std::size_t>(h.num_vertices()));
+    std::iota(to_parent.begin(), to_parent.end(), index_t{0});
+    recursive_bisect_hg(h, options, options.num_parts, 0, to_parent,
+                        result.part, options.seed);
+  }
+  result.cut = compute_cut_nets(h, result.part);
+
+  std::vector<std::int64_t> weights(
+      static_cast<std::size_t>(options.num_parts), 0);
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    weights[static_cast<std::size_t>(
+        result.part[static_cast<std::size_t>(v)])] += h.vertex_weight(v);
+  }
+  const double average =
+      static_cast<double>(h.total_vertex_weight()) / options.num_parts;
+  result.imbalance =
+      average > 0 ? static_cast<double>(*std::max_element(weights.begin(),
+                                                          weights.end())) /
+                        average
+                  : 1.0;
+  return result;
+}
+
+}  // namespace ordo

@@ -1,0 +1,50 @@
+#include "partition/partitioning.hpp"
+
+#include <algorithm>
+
+namespace ordo {
+
+std::int64_t compute_edge_cut(const Graph& g,
+                              const std::vector<index_t>& part) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "compute_edge_cut: partition size mismatch");
+  std::int64_t cut = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const auto neighbors = g.neighbors(v);
+    const offset_t base = g.adj_ptr()[v];
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const index_t u = neighbors[k];
+      if (part[static_cast<std::size_t>(v)] !=
+          part[static_cast<std::size_t>(u)]) {
+        cut += g.edge_weight(base + static_cast<offset_t>(k));
+      }
+    }
+  }
+  // Every undirected edge was visited from both endpoints.
+  return cut / 2;
+}
+
+std::vector<std::int64_t> partition_weights(const Graph& g,
+                                            const std::vector<index_t>& part,
+                                            index_t num_parts) {
+  std::vector<std::int64_t> weights(static_cast<std::size_t>(num_parts), 0);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    weights[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  }
+  return weights;
+}
+
+double compute_partition_imbalance(const Graph& g,
+                                   const std::vector<index_t>& part,
+                                   index_t num_parts) {
+  if (num_parts <= 0 || g.num_vertices() == 0) return 1.0;
+  const auto weights = partition_weights(g, part, num_parts);
+  const double average =
+      static_cast<double>(g.total_vertex_weight()) / num_parts;
+  const std::int64_t max_weight =
+      *std::max_element(weights.begin(), weights.end());
+  return average > 0 ? static_cast<double>(max_weight) / average : 1.0;
+}
+
+}  // namespace ordo

@@ -1,0 +1,55 @@
+// Architecture descriptors for the eight multicore CPUs of Table 2.
+//
+// This reproduction runs on a single machine, so the paper's cross-platform
+// measurements are replaced by an execution-time model instantiated with
+// Table 2's published parameters (sockets, cores, cache sizes, bandwidth,
+// frequency) plus microarchitectural cost coefficients chosen per family
+// (e.g. the ARM parts get higher per-nonzero issue cost and lower
+// memory-level parallelism, reflecting the weak ARM baselines the paper
+// reports in Section 4.3). See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ordo {
+
+struct Architecture {
+  std::string name;        ///< short name used in the paper's tables
+  std::string cpu;         ///< marketing name
+  std::string isa;         ///< instruction set
+  std::string microarch;   ///< microarchitecture
+  int sockets = 1;
+  int cores = 1;           ///< total cores (= threads used by the study)
+  double freq_ghz = 1.0;   ///< sustained all-core frequency
+  int l1d_kib_per_core = 32;
+  int l2_kib_per_core = 512;
+  int l3_mib_per_socket = 32;
+  double bandwidth_gbs = 100.0;  ///< aggregate DRAM bandwidth
+
+  // Model coefficients (not from Table 2; see header comment).
+  double cycles_per_nonzero = 1.3;   ///< sustained issue cost per nonzero
+  double row_overhead_cycles = 4.0;  ///< loop start/stop cost per row
+  double branch_miss_cycles = 12.0;  ///< penalty when row length changes
+  /// Latency terms are *effective* (overlap-adjusted) costs per access:
+  /// out-of-order cores hide most of the raw L2/L3 latency, so these sit
+  /// well below the architectural load-to-use numbers.
+  double l2_hit_cycles = 3.0;        ///< effective L1-miss-L2-hit cost
+  double l3_hit_cycles = 10.0;       ///< effective L2-miss-LLC-hit cost
+  double dram_latency_cycles = 260.0;
+  double memory_level_parallelism = 8.0;  ///< overlapped outstanding misses
+  double per_core_bandwidth_gbs = 22.0;   ///< single-core streaming bound
+};
+
+/// The eight machines of Table 2, in the paper's column order: Skylake,
+/// Ice Lake, Naples, Rome, Milan A, Milan B, TX2, Hi1620.
+const std::vector<Architecture>& table2_architectures();
+
+/// Lookup by short name ("Milan B", "Ice Lake", ...); throws when unknown.
+const Architecture& architecture_by_name(const std::string& name);
+
+/// Distinct thread counts across the eight machines (the partitions the
+/// sweeps must evaluate): {16, 32, 48, 64, 72, 128}.
+std::vector<int> distinct_thread_counts();
+
+}  // namespace ordo

@@ -1,0 +1,74 @@
+#include "perfmodel/stack_distance.hpp"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+namespace ordo {
+
+ReuseProfile analyze_reuse(std::span<const index_t> lines, index_t num_lines) {
+  const std::size_t n = lines.size();
+  ReuseProfile profile;
+  profile.stack_distance.resize(n);
+  profile.previous_access.resize(n);
+
+  std::vector<offset_t> last_access(static_cast<std::size_t>(num_lines), -1);
+  FenwickTree marks(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const index_t line = lines[t];
+    require(line >= 0 && line < num_lines, "analyze_reuse: line out of range");
+    const offset_t prev = last_access[static_cast<std::size_t>(line)];
+    profile.previous_access[t] = prev;
+    if (prev < 0) {
+      profile.stack_distance[t] = ReuseProfile::kCold;
+    } else {
+      // Marks sit at each line's most recent access; lines touched since
+      // `prev` have their mark strictly inside (prev, t).
+      profile.stack_distance[t] = static_cast<index_t>(
+          marks.range_sum(static_cast<std::size_t>(prev) + 1, t));
+      marks.add(static_cast<std::size_t>(prev), -1);
+    }
+    marks.add(t, +1);
+    last_access[static_cast<std::size_t>(line)] = static_cast<offset_t>(t);
+  }
+  return profile;
+}
+
+std::int64_t count_misses(const ReuseProfile& profile, offset_t begin,
+                          offset_t end, index_t capacity_lines) {
+  std::int64_t misses = 0;
+  for (offset_t k = begin; k < end; ++k) {
+    const std::size_t i = static_cast<std::size_t>(k);
+    if (profile.previous_access[i] < begin ||
+        profile.stack_distance[i] >= capacity_lines) {
+      ++misses;
+    }
+  }
+  return misses;
+}
+
+std::int64_t simulate_lru_misses(std::span<const index_t> lines,
+                                 index_t capacity_lines) {
+  std::list<index_t> recency;  // front = most recent
+  std::unordered_map<index_t, std::list<index_t>::iterator> where;
+  std::int64_t misses = 0;
+  for (index_t line : lines) {
+    const auto it = where.find(line);
+    if (it != where.end()) {
+      recency.erase(it->second);
+      where.erase(it);
+    } else {
+      ++misses;
+      if (static_cast<index_t>(recency.size()) ==
+          capacity_lines) {  // evict LRU
+        where.erase(recency.back());
+        recency.pop_back();
+      }
+    }
+    recency.push_front(line);
+    where[line] = recency.begin();
+  }
+  return misses;
+}
+
+}  // namespace ordo

@@ -1,0 +1,84 @@
+// Exact LRU stack-distance analysis of an access stream.
+//
+// For every access, the stack distance is the number of *distinct* other
+// cache lines touched since the previous access to the same line (infinite
+// for a line's first access). A fully-associative LRU cache of capacity C
+// lines hits exactly when the stack distance is < C, so one analysis of a
+// stream yields the miss count for every capacity at once — this is what
+// lets the performance model evaluate all eight architectures' cache
+// hierarchies from a single pass per (matrix, ordering).
+//
+// The classic O(n log n) algorithm is used: a Fenwick tree over access
+// timestamps holds one mark at each line's most recent access; the stack
+// distance of an access at time t whose line was last touched at time t' is
+// the number of marks in (t', t).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace ordo {
+
+/// Fenwick tree (binary indexed tree) over [0, n) with +/- point updates and
+/// prefix-sum queries. Exposed for reuse and direct testing.
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t n) : tree_(n + 1, 0) {}
+
+  /// Adds `delta` at position i.
+  void add(std::size_t i, std::int32_t delta) {
+    for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1)) {
+      tree_[k] += delta;
+    }
+  }
+
+  /// Sum over [0, i).
+  std::int64_t prefix_sum(std::size_t i) const {
+    std::int64_t sum = 0;
+    for (std::size_t k = i; k > 0; k -= k & (~k + 1)) sum += tree_[k];
+    return sum;
+  }
+
+  /// Sum over [lo, hi).
+  std::int64_t range_sum(std::size_t lo, std::size_t hi) const {
+    return hi > lo ? prefix_sum(hi) - prefix_sum(lo) : 0;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+/// Per-access reuse information for a line-id stream.
+struct ReuseProfile {
+  /// Sentinel distance for a line's first access (cold miss).
+  static constexpr index_t kCold = std::numeric_limits<index_t>::max();
+
+  /// stack_distance[k]: distinct other lines touched between access k and
+  /// the previous access to the same line; kCold for first accesses.
+  std::vector<index_t> stack_distance;
+  /// previous_access[k]: stream index of the previous access to the same
+  /// line, or -1. Lets a consumer re-evaluate a *segment* [s, e) of the
+  /// stream: within the segment an access is cold iff previous_access < s,
+  /// and otherwise its in-segment stack distance equals the global one.
+  std::vector<offset_t> previous_access;
+};
+
+/// Analyzes the stream. `num_lines` must exceed every line id.
+ReuseProfile analyze_reuse(std::span<const index_t> lines, index_t num_lines);
+
+/// Misses of a fully-associative LRU cache with `capacity_lines` lines over
+/// the sub-stream [begin, end) of the analyzed stream, treating accesses
+/// whose previous access precedes `begin` as cold.
+std::int64_t count_misses(const ReuseProfile& profile, offset_t begin,
+                          offset_t end, index_t capacity_lines);
+
+/// Reference LRU simulator (explicit recency list); O(n·C). Used to validate
+/// the stack-distance engine in tests.
+std::int64_t simulate_lru_misses(std::span<const index_t> lines,
+                                 index_t capacity_lines);
+
+}  // namespace ordo

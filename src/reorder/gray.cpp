@@ -1,0 +1,82 @@
+// Gray-code row ordering (Zhao et al., ICCD 2020), with the parameters the
+// paper adopts: 16 bitmap sections and a dense-row threshold of 20 nonzeros.
+//
+// Rows are first split into a dense and a sparse submatrix by nonzero count.
+// Dense rows receive the *density* ordering (grouped by similar nonzero
+// count to improve branch prediction); sparse rows receive the
+// *bitmap* ordering: each row is summarised by a bitmap recording which of
+// the equal-width column sections contain a nonzero, and rows are sorted by
+// the binary-reflected Gray-code rank of that bitmap, so consecutive rows
+// touch nearly the same sections of the input vector. Only rows move; the
+// ordering is unsymmetric.
+#include <algorithm>
+#include <numeric>
+
+#include "reorder/reordering.hpp"
+
+namespace ordo {
+namespace {
+
+/// Rank of a bitmap in the binary-reflected Gray code sequence: the value r
+/// such that gray(r) == bits, computed by the standard prefix-XOR inverse.
+std::uint32_t gray_rank(std::uint32_t bits) {
+  std::uint32_t r = bits;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) {
+    r ^= r >> shift;
+  }
+  return r;
+}
+
+}  // namespace
+
+Permutation gray_row_ordering(const CsrMatrix& a,
+                              const ReorderOptions& options) {
+  const index_t m = a.num_rows();
+  const index_t n = a.num_cols();
+  const int bits = options.gray_bits;
+  require(bits >= 1 && bits <= 31, "gray_row_ordering: bits must be in 1..31");
+
+  struct RowKey {
+    index_t row;
+    offset_t nnz;
+    std::uint32_t rank;
+  };
+  std::vector<RowKey> dense, sparse;
+  const double section_width =
+      n > 0 ? static_cast<double>(n) / static_cast<double>(bits) : 1.0;
+  for (index_t i = 0; i < m; ++i) {
+    const offset_t nnz = a.row_nonzeros(i);
+    if (nnz > options.gray_dense_threshold) {
+      dense.push_back(RowKey{i, nnz, 0});
+    } else {
+      std::uint32_t bitmap = 0;
+      for (index_t j : a.row_cols(i)) {
+        const int section = std::min<int>(
+            bits - 1, static_cast<int>(static_cast<double>(j) / section_width));
+        bitmap |= 1u << section;
+      }
+      sparse.push_back(RowKey{i, nnz, gray_rank(bitmap)});
+    }
+  }
+
+  // Density ordering for the dense block: group rows of similar nonzero
+  // count together (descending, so the heaviest rows lead).
+  std::stable_sort(dense.begin(), dense.end(),
+                   [](const RowKey& x, const RowKey& y) {
+                     return x.nnz > y.nnz;
+                   });
+  // Bitmap ordering for the sparse block: Gray-code rank, then density.
+  std::stable_sort(sparse.begin(), sparse.end(),
+                   [](const RowKey& x, const RowKey& y) {
+                     return x.rank != y.rank ? x.rank < y.rank
+                                             : x.nnz > y.nnz;
+                   });
+
+  Permutation perm;
+  perm.reserve(static_cast<std::size_t>(m));
+  for (const RowKey& key : dense) perm.push_back(key.row);
+  for (const RowKey& key : sparse) perm.push_back(key.row);
+  return perm;
+}
+
+}  // namespace ordo

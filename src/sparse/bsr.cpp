@@ -1,0 +1,140 @@
+#include "sparse/bsr.hpp"
+
+#include <algorithm>
+
+namespace ordo {
+
+BsrMatrix BsrMatrix::from_csr(const CsrMatrix& a, int block_size) {
+  require(block_size >= 1, "BsrMatrix: block size must be positive");
+  BsrMatrix b;
+  b.rows_ = a.num_rows();
+  b.cols_ = a.num_cols();
+  b.block_size_ = block_size;
+  b.block_rows_ = (a.num_rows() + block_size - 1) / block_size;
+  b.block_cols_ = (a.num_cols() + block_size - 1) / block_size;
+  b.structural_nonzeros_ = a.num_nonzeros();
+
+  // Pass 1: count distinct block columns per block row.
+  std::vector<offset_t> slot(static_cast<std::size_t>(b.block_cols_), -1);
+  b.block_ptr_.assign(static_cast<std::size_t>(b.block_rows_) + 1, 0);
+  for (index_t bi = 0; bi < b.block_rows_; ++bi) {
+    offset_t blocks_in_row = 0;
+    const index_t row_end =
+        std::min<index_t>((bi + 1) * block_size, a.num_rows());
+    for (index_t i = bi * block_size; i < row_end; ++i) {
+      for (index_t j : a.row_cols(i)) {
+        const index_t bj = j / block_size;
+        if (slot[static_cast<std::size_t>(bj)] != bi) {
+          slot[static_cast<std::size_t>(bj)] = bi;
+          ++blocks_in_row;
+        }
+      }
+    }
+    b.block_ptr_[static_cast<std::size_t>(bi) + 1] =
+        b.block_ptr_[static_cast<std::size_t>(bi)] + blocks_in_row;
+  }
+
+  // Pass 2: fill block columns (sorted) and scatter values.
+  b.block_col_.resize(static_cast<std::size_t>(b.block_ptr_.back()));
+  b.values_.assign(static_cast<std::size_t>(b.block_ptr_.back()) *
+                       block_size * block_size,
+                   0.0);
+  std::fill(slot.begin(), slot.end(), offset_t{-1});
+  std::vector<offset_t> block_of(static_cast<std::size_t>(b.block_cols_));
+  for (index_t bi = 0; bi < b.block_rows_; ++bi) {
+    // Collect the block columns of this block row, sorted.
+    offset_t out = b.block_ptr_[static_cast<std::size_t>(bi)];
+    const index_t row_end =
+        std::min<index_t>((bi + 1) * block_size, a.num_rows());
+    for (index_t i = bi * block_size; i < row_end; ++i) {
+      for (index_t j : a.row_cols(i)) {
+        const index_t bj = j / block_size;
+        if (slot[static_cast<std::size_t>(bj)] !=
+            static_cast<offset_t>(bi)) {
+          slot[static_cast<std::size_t>(bj)] = bi;
+          b.block_col_[static_cast<std::size_t>(out++)] = bj;
+        }
+      }
+    }
+    std::sort(b.block_col_.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      b.block_ptr_[static_cast<std::size_t>(bi)]),
+              b.block_col_.begin() + static_cast<std::ptrdiff_t>(out));
+    for (offset_t p = b.block_ptr_[static_cast<std::size_t>(bi)]; p < out;
+         ++p) {
+      block_of[static_cast<std::size_t>(
+          b.block_col_[static_cast<std::size_t>(p)])] = p;
+    }
+    for (index_t i = bi * block_size; i < row_end; ++i) {
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const index_t bj = cols[k] / block_size;
+        const offset_t block = block_of[static_cast<std::size_t>(bj)];
+        const int local_row = static_cast<int>(i - bi * block_size);
+        const int local_col = static_cast<int>(cols[k] - bj * block_size);
+        b.values_[static_cast<std::size_t>(block) * block_size * block_size +
+                  static_cast<std::size_t>(local_row) * block_size +
+                  static_cast<std::size_t>(local_col)] = vals[k];
+      }
+    }
+  }
+  return b;
+}
+
+void BsrMatrix::multiply(std::span<const value_t> x,
+                         std::span<value_t> y) const {
+  const std::size_t padded_cols =
+      static_cast<std::size_t>(block_cols_) * block_size_;
+  const std::size_t padded_rows =
+      static_cast<std::size_t>(block_rows_) * block_size_;
+  require(x.size() >= padded_cols && y.size() >= padded_rows,
+          "BsrMatrix::multiply: vectors must cover the padded dimensions");
+  const int bs = block_size_;
+  for (index_t bi = 0; bi < block_rows_; ++bi) {
+    for (int r = 0; r < bs; ++r) {
+      y[static_cast<std::size_t>(bi) * bs + r] = 0.0;
+    }
+    for (offset_t p = block_ptr_[static_cast<std::size_t>(bi)];
+         p < block_ptr_[static_cast<std::size_t>(bi) + 1]; ++p) {
+      const index_t bj = block_col_[static_cast<std::size_t>(p)];
+      const value_t* block =
+          values_.data() + static_cast<std::size_t>(p) * bs * bs;
+      for (int r = 0; r < bs; ++r) {
+        value_t sum = 0.0;
+        for (int c = 0; c < bs; ++c) {
+          sum += block[r * bs + c] *
+                 x[static_cast<std::size_t>(bj) * bs + c];
+        }
+        y[static_cast<std::size_t>(bi) * bs + r] += sum;
+      }
+    }
+  }
+}
+
+CsrMatrix BsrMatrix::to_csr() const {
+  CooMatrix coo(rows_, cols_);
+  const int bs = block_size_;
+  for (index_t bi = 0; bi < block_rows_; ++bi) {
+    for (offset_t p = block_ptr_[static_cast<std::size_t>(bi)];
+         p < block_ptr_[static_cast<std::size_t>(bi) + 1]; ++p) {
+      const index_t bj = block_col_[static_cast<std::size_t>(p)];
+      const value_t* block =
+          values_.data() + static_cast<std::size_t>(p) * bs * bs;
+      for (int r = 0; r < bs; ++r) {
+        const index_t i = bi * bs + r;
+        if (i >= rows_) break;
+        for (int c = 0; c < bs; ++c) {
+          const index_t j = bj * bs + c;
+          if (j >= cols_) break;
+          if (block[r * bs + c] != 0.0) {
+            coo.add(i, j, block[r * bs + c]);
+          }
+        }
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+}  // namespace ordo

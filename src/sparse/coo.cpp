@@ -1,0 +1,21 @@
+#include "sparse/coo.hpp"
+
+namespace ordo {
+
+CooMatrix::CooMatrix(index_t num_rows, index_t num_cols)
+    : num_rows_(num_rows), num_cols_(num_cols) {
+  require(num_rows >= 0 && num_cols >= 0, "CooMatrix: negative dimension");
+}
+
+void CooMatrix::add(index_t row, index_t col, value_t value) {
+  require(row >= 0 && row < num_rows_, "CooMatrix::add: row out of range");
+  require(col >= 0 && col < num_cols_, "CooMatrix::add: column out of range");
+  entries_.push_back(Triplet{row, col, value});
+}
+
+void CooMatrix::add_symmetric(index_t row, index_t col, value_t value) {
+  add(row, col, value);
+  if (row != col) add(col, row, value);
+}
+
+}  // namespace ordo

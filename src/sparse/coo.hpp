@@ -1,0 +1,55 @@
+// Coordinate-format (COO) sparse matrix: a simple triplet container used as
+// the assembly and interchange format. Generators and the Matrix Market
+// reader produce COO; computational kernels consume CSR (see csr.hpp).
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace ordo {
+
+/// One (row, column, value) triplet.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  value_t value = 0.0;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Coordinate-format sparse matrix. Duplicate entries are permitted and are
+/// summed on conversion to CSR.
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+
+  /// Creates an empty num_rows-by-num_cols matrix.
+  CooMatrix(index_t num_rows, index_t num_cols);
+
+  /// Appends one entry. Indices are validated against the matrix shape.
+  void add(index_t row, index_t col, value_t value);
+
+  /// Appends `value` at (row, col) and, when row != col, also at (col, row).
+  /// Convenience for assembling symmetric patterns.
+  void add_symmetric(index_t row, index_t col, value_t value);
+
+  index_t num_rows() const { return num_rows_; }
+  index_t num_cols() const { return num_cols_; }
+
+  /// Number of stored triplets (including duplicates).
+  offset_t num_entries() const { return static_cast<offset_t>(entries_.size()); }
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+  std::vector<Triplet>& entries() { return entries_; }
+
+  /// Reserves storage for `n` triplets.
+  void reserve(offset_t n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+ private:
+  index_t num_rows_ = 0;
+  index_t num_cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace ordo

@@ -1,0 +1,120 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ordo {
+namespace {
+
+// Shared assembly path: counting sort by row, in-row sort by column,
+// duplicate summation.
+CsrMatrix assemble(index_t num_rows, index_t num_cols,
+                   std::vector<Triplet> entries) {
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(num_rows) + 1, 0);
+  for (const Triplet& t : entries) row_ptr[static_cast<std::size_t>(t.row) + 1]++;
+  std::partial_sum(row_ptr.begin(), row_ptr.end(), row_ptr.begin());
+
+  // Scatter triplets into row buckets.
+  std::vector<offset_t> next(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<index_t> col_idx(entries.size());
+  std::vector<value_t> values(entries.size());
+  for (const Triplet& t : entries) {
+    const offset_t k = next[static_cast<std::size_t>(t.row)]++;
+    col_idx[static_cast<std::size_t>(k)] = t.col;
+    values[static_cast<std::size_t>(k)] = t.value;
+  }
+
+  // Sort each row by column and sum duplicates, compacting in place.
+  std::vector<offset_t> out_ptr(static_cast<std::size_t>(num_rows) + 1, 0);
+  offset_t out = 0;
+  std::vector<std::pair<index_t, value_t>> row;
+  for (index_t i = 0; i < num_rows; ++i) {
+    row.clear();
+    for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      row.emplace_back(col_idx[static_cast<std::size_t>(k)],
+                       values[static_cast<std::size_t>(k)]);
+    }
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (k > 0 && row[k].first == row[k - 1].first) {
+        values[static_cast<std::size_t>(out - 1)] += row[k].second;
+      } else {
+        col_idx[static_cast<std::size_t>(out)] = row[k].first;
+        values[static_cast<std::size_t>(out)] = row[k].second;
+        ++out;
+      }
+    }
+    out_ptr[static_cast<std::size_t>(i) + 1] = out;
+  }
+  col_idx.resize(static_cast<std::size_t>(out));
+  values.resize(static_cast<std::size_t>(out));
+  return CsrMatrix(num_rows, num_cols, std::move(out_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace
+
+CsrMatrix::CsrMatrix(index_t num_rows, index_t num_cols,
+                     std::vector<offset_t> row_ptr,
+                     std::vector<index_t> col_idx, std::vector<value_t> values)
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  validate();
+}
+
+void CsrMatrix::validate() const {
+  require(num_rows_ >= 0 && num_cols_ >= 0, "CsrMatrix: negative dimension");
+  require(row_ptr_.size() == static_cast<std::size_t>(num_rows_) + 1,
+          "CsrMatrix: row_ptr size must be num_rows + 1");
+  require(row_ptr_.front() == 0, "CsrMatrix: row_ptr must start at 0");
+  require(row_ptr_.back() == static_cast<offset_t>(col_idx_.size()),
+          "CsrMatrix: row_ptr must end at nnz");
+  require(col_idx_.size() == values_.size(),
+          "CsrMatrix: col_idx and values must have equal length");
+  for (index_t i = 0; i < num_rows_; ++i) {
+    require(row_ptr_[static_cast<std::size_t>(i)] <=
+                row_ptr_[static_cast<std::size_t>(i) + 1],
+            "CsrMatrix: row_ptr must be nondecreasing");
+    for (offset_t k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = col_idx_[static_cast<std::size_t>(k)];
+      require(j >= 0 && j < num_cols_, "CsrMatrix: column index out of range");
+      if (k > row_ptr_[static_cast<std::size_t>(i)]) {
+        require(col_idx_[static_cast<std::size_t>(k - 1)] < j,
+                "CsrMatrix: columns must be strictly ascending within a row");
+      }
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  return assemble(coo.num_rows(), coo.num_cols(), coo.entries());
+}
+
+CsrMatrix CsrMatrix::from_coo_symmetric_expand(const CooMatrix& coo) {
+  require(coo.num_rows() == coo.num_cols(),
+          "from_coo_symmetric_expand: matrix must be square");
+  std::vector<Triplet> entries = coo.entries();
+  const std::size_t original = entries.size();
+  entries.reserve(2 * original);
+  for (std::size_t k = 0; k < original; ++k) {
+    if (entries[k].row != entries[k].col) {
+      entries.push_back(
+          Triplet{entries[k].col, entries[k].row, entries[k].value});
+    }
+  }
+  return assemble(coo.num_rows(), coo.num_cols(), std::move(entries));
+}
+
+std::int64_t CsrMatrix::storage_bytes() const {
+  return static_cast<std::int64_t>(row_ptr_.size() * sizeof(offset_t)) +
+         static_cast<std::int64_t>(col_idx_.size() * sizeof(index_t)) +
+         static_cast<std::int64_t>(values_.size() * sizeof(value_t));
+}
+
+}  // namespace ordo

@@ -1,0 +1,79 @@
+// Compressed sparse row (CSR) matrix: the computational format for every
+// kernel in ordo. Nonzeros are grouped by row; within each row, column
+// indices are stored in ascending order with no duplicates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+
+namespace ordo {
+
+/// CSR sparse matrix with 64-bit row pointers, 32-bit column indices and
+/// double-precision values (Section 4.1 of the paper).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. Validates the invariants:
+  /// row_ptr has num_rows+1 monotone entries starting at 0; column indices
+  /// are in range and strictly ascending within each row.
+  CsrMatrix(index_t num_rows, index_t num_cols, std::vector<offset_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<value_t> values);
+
+  /// Builds a CSR matrix from triplets. Duplicate entries are summed.
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Builds from triplets where entries with row != col that appear only in
+  /// one triangle are mirrored, i.e. the expansion used by the paper for
+  /// matrices stored in symmetric Matrix Market form.
+  static CsrMatrix from_coo_symmetric_expand(const CooMatrix& coo);
+
+  index_t num_rows() const { return num_rows_; }
+  index_t num_cols() const { return num_cols_; }
+  offset_t num_nonzeros() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+
+  std::span<const offset_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const value_t> values() const { return values_; }
+  std::span<value_t> values() { return values_; }
+
+  /// Number of nonzeros in row i.
+  offset_t row_nonzeros(index_t i) const { return row_ptr_[i + 1] - row_ptr_[i]; }
+
+  /// Column indices of row i.
+  std::span<const index_t> row_cols(index_t i) const {
+    return std::span<const index_t>(col_idx_).subspan(
+        static_cast<std::size_t>(row_ptr_[i]),
+        static_cast<std::size_t>(row_nonzeros(i)));
+  }
+
+  /// Values of row i.
+  std::span<const value_t> row_values(index_t i) const {
+    return std::span<const value_t>(values_).subspan(
+        static_cast<std::size_t>(row_ptr_[i]),
+        static_cast<std::size_t>(row_nonzeros(i)));
+  }
+
+  /// True when the matrix is square.
+  bool is_square() const { return num_rows_ == num_cols_; }
+
+  /// Bytes needed to store the matrix in CSR form (row pointers + column
+  /// indices + values). Used by the performance model for memory traffic.
+  std::int64_t storage_bytes() const;
+
+  friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
+
+ private:
+  void validate() const;
+
+  index_t num_rows_ = 0;
+  index_t num_cols_ = 0;
+  std::vector<offset_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace ordo

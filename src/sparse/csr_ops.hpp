@@ -1,0 +1,49 @@
+// Structural operations on CSR matrices: transpose, symmetrization,
+// permutation application, pattern queries.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "sparse/permutation.hpp"
+
+namespace ordo {
+
+/// Returns the transpose of `a`.
+CsrMatrix transpose(const CsrMatrix& a);
+
+/// True when the sparsity pattern of a square matrix is symmetric
+/// (values are not compared).
+bool is_pattern_symmetric(const CsrMatrix& a);
+
+/// Returns the pattern of A + Aᵀ for a square matrix. Where both A(i,j) and
+/// A(j,i) exist the values are summed; where only one exists its value is
+/// kept. This is the symmetrization the paper applies before running RCM,
+/// AMD, ND and GP on structurally unsymmetric matrices.
+CsrMatrix symmetrize(const CsrMatrix& a);
+
+/// Applies a symmetric permutation: returns B with B(i, j) = A(perm[i],
+/// perm[j]). Requires a square matrix. This is how RCM/AMD/ND/GP/HP
+/// orderings are applied.
+CsrMatrix permute_symmetric(const CsrMatrix& a, const Permutation& perm);
+
+/// Applies a row-only permutation: returns B with B(i, :) = A(perm[i], :).
+/// Columns are left in place. This is how the (unsymmetric) Gray ordering is
+/// applied.
+CsrMatrix permute_rows(const CsrMatrix& a, const Permutation& perm);
+
+/// Applies independent row and column permutations:
+/// B(i, j) = A(row_perm[i], col_perm[j]).
+CsrMatrix permute(const CsrMatrix& a, const Permutation& row_perm,
+                  const Permutation& col_perm);
+
+/// Number of structurally nonzero diagonal entries.
+index_t diagonal_nonzeros(const CsrMatrix& a);
+
+/// Returns a copy of `a` whose diagonal is made structurally full: missing
+/// diagonal entries are inserted with the given value. Used to make
+/// generated matrices positive-definite-like for the Cholesky study.
+CsrMatrix with_full_diagonal(const CsrMatrix& a, value_t diag_value);
+
+/// Lower triangle (including diagonal) of a square matrix.
+CsrMatrix lower_triangle(const CsrMatrix& a);
+
+}  // namespace ordo

@@ -1,0 +1,129 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace ordo {
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+enum class Field { kReal, kInteger, kPattern };
+
+}  // namespace
+
+MmFile read_matrix_market(std::istream& in) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)),
+          "matrix market: empty input");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field_str, symmetry_str;
+  header >> banner >> object >> format >> field_str >> symmetry_str;
+  require(banner == "%%MatrixMarket", "matrix market: missing banner");
+  require(to_lower(object) == "matrix", "matrix market: object must be matrix");
+  require(to_lower(format) == "coordinate",
+          "matrix market: only coordinate format is supported");
+
+  Field field;
+  const std::string f = to_lower(field_str);
+  if (f == "real") {
+    field = Field::kReal;
+  } else if (f == "integer") {
+    field = Field::kInteger;
+  } else if (f == "pattern") {
+    field = Field::kPattern;
+  } else {
+    throw invalid_argument_error("matrix market: unsupported field " +
+                                 field_str);
+  }
+
+  MmFile result;
+  const std::string s = to_lower(symmetry_str);
+  if (s == "general") {
+    result.symmetry = MmSymmetry::kGeneral;
+  } else if (s == "symmetric") {
+    result.symmetry = MmSymmetry::kSymmetric;
+  } else if (s == "skew-symmetric") {
+    result.symmetry = MmSymmetry::kSkewSymmetric;
+  } else {
+    throw invalid_argument_error("matrix market: unsupported symmetry " +
+                                 symmetry_str);
+  }
+
+  // Skip comments and blank lines, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = -1, cols = -1, entries = -1;
+  size_line >> rows >> cols >> entries;
+  require(rows >= 0 && cols >= 0 && entries >= 0,
+          "matrix market: malformed size line");
+
+  result.coo = CooMatrix(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  result.coo.reserve(entries);
+  long long seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long i = 0, j = 0;
+    double v = 1.0;
+    entry >> i >> j;
+    if (field != Field::kPattern) entry >> v;
+    require(!entry.fail(), "matrix market: malformed entry line");
+    // Matrix Market uses 1-based indices.
+    result.coo.add(static_cast<index_t>(i - 1), static_cast<index_t>(j - 1), v);
+    ++seen;
+  }
+  require(seen == entries, "matrix market: fewer entries than declared");
+  return result;
+}
+
+CsrMatrix to_csr(const MmFile& file) {
+  if (file.symmetry == MmSymmetry::kGeneral) {
+    return CsrMatrix::from_coo(file.coo);
+  }
+  CooMatrix expanded(file.coo.num_rows(), file.coo.num_cols());
+  expanded.reserve(2 * file.coo.num_entries());
+  const double mirror_sign =
+      file.symmetry == MmSymmetry::kSkewSymmetric ? -1.0 : 1.0;
+  for (const Triplet& t : file.coo.entries()) {
+    expanded.add(t.row, t.col, t.value);
+    if (t.row != t.col) expanded.add(t.col, t.row, mirror_sign * t.value);
+  }
+  return CsrMatrix::from_coo(expanded);
+}
+
+CsrMatrix load_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_matrix_market: cannot open " + path);
+  return to_csr(read_matrix_market(in));
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.num_rows() << ' ' << a.num_cols() << ' ' << a.num_nonzeros()
+      << '\n';
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (i + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+void save_matrix_market(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path);
+  require(out.good(), "save_matrix_market: cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace ordo

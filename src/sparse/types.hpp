@@ -1,0 +1,35 @@
+// Fundamental scalar and index types used throughout ordo.
+//
+// The study (and this reproduction) stores column offsets as 32-bit integers
+// and nonzero values as IEEE double precision, matching Section 4.1 of the
+// paper. Row-pointer arrays use 64-bit offsets so matrices with more than
+// 2^31 nonzeros remain representable.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ordo {
+
+/// Row/column index type (32-bit, as in the paper's CSR representation).
+using index_t = std::int32_t;
+
+/// Nonzero-offset type for row pointers and nonzero counts.
+using offset_t = std::int64_t;
+
+/// Matrix value type.
+using value_t = double;
+
+/// Exception thrown when a matrix, permutation or argument fails validation.
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Throws invalid_argument_error with the given message when `cond` is false.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw invalid_argument_error(message);
+}
+
+}  // namespace ordo

@@ -1,0 +1,91 @@
+// Tests for the BSR format: round-trips, SpMV equivalence, block-fill
+// accounting and its interaction with reordering.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "corpus/generators.hpp"
+#include "reorder/reordering.hpp"
+#include "sparse/bsr.hpp"
+#include "spmv/spmv.hpp"
+#include "test_util.hpp"
+
+namespace ordo {
+namespace {
+
+using testing::random_square;
+
+TEST(Bsr, RoundTripsThroughCsr) {
+  const CsrMatrix a = random_square(97, 4.0, 6);  // deliberately not a
+                                                  // multiple of the block
+  for (int block_size : {1, 2, 3, 4, 8}) {
+    const BsrMatrix b = BsrMatrix::from_csr(a, block_size);
+    EXPECT_EQ(b.to_csr(), a) << "block size " << block_size;
+    EXPECT_EQ(b.structural_nonzeros(), a.num_nonzeros());
+    EXPECT_GE(b.stored_values(), a.num_nonzeros());
+  }
+}
+
+TEST(Bsr, BlockSizeOneIsCsrEquivalent) {
+  const CsrMatrix a = random_square(50, 3.0, 2);
+  const BsrMatrix b = BsrMatrix::from_csr(a, 1);
+  EXPECT_EQ(b.num_blocks(), a.num_nonzeros());
+  EXPECT_DOUBLE_EQ(b.block_fill(), 1.0);
+}
+
+TEST(Bsr, PerfectlyBlockedFemMatrixHasFullBlocks) {
+  // gen_fem_blocked builds dense dofs x dofs node blocks: blocking at dofs
+  // captures them exactly.
+  const CsrMatrix a = gen_fem_blocked(6, 6, 3);
+  const BsrMatrix b = BsrMatrix::from_csr(a, 3);
+  EXPECT_DOUBLE_EQ(b.block_fill(), 1.0);
+  EXPECT_EQ(b.stored_values(), a.num_nonzeros());
+}
+
+TEST(Bsr, MultiplyMatchesCsrSpmv) {
+  const CsrMatrix a = random_square(120, 5.0, 9);
+  const BsrMatrix b = BsrMatrix::from_csr(a, 4);
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  const std::size_t padded =
+      static_cast<std::size_t>(b.block_cols()) * b.block_size();
+  std::vector<value_t> x(padded, 0.0);
+  for (index_t j = 0; j < a.num_cols(); ++j) {
+    x[static_cast<std::size_t>(j)] = dist(rng);
+  }
+  std::vector<value_t> y_bsr(
+      static_cast<std::size_t>(b.block_rows()) * b.block_size(), 0.0);
+  b.multiply(x, y_bsr);
+  std::vector<value_t> y_csr(static_cast<std::size_t>(a.num_rows()));
+  spmv_serial(a, std::span<const value_t>(x).first(
+                     static_cast<std::size_t>(a.num_cols())),
+              y_csr);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_NEAR(y_bsr[static_cast<std::size_t>(i)],
+                y_csr[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Bsr, ReorderingShredsBlockStructure) {
+  // A block-aware matrix blocked at its natural dofs has fill 1.0; a random
+  // symmetric permutation breaks node blocks apart, dropping the fill — the
+  // cost the paper notes when orderings ignore existing block structure
+  // (Section 3.3, last paragraph).
+  const CsrMatrix a = gen_fem_blocked(8, 8, 3);
+  const double natural_fill = BsrMatrix::from_csr(a, 3).block_fill();
+  const CsrMatrix shuffled =
+      apply_ordering(a, compute_ordering(a, OrderingKind::kRandom));
+  const double shuffled_fill = BsrMatrix::from_csr(shuffled, 3).block_fill();
+  EXPECT_DOUBLE_EQ(natural_fill, 1.0);
+  EXPECT_LT(shuffled_fill, 0.7);
+}
+
+TEST(Bsr, EmptyMatrix) {
+  const CsrMatrix a(0, 0, {0}, {}, {});
+  const BsrMatrix b = BsrMatrix::from_csr(a, 4);
+  EXPECT_EQ(b.num_blocks(), 0);
+  EXPECT_DOUBLE_EQ(b.block_fill(), 1.0);
+}
+
+}  // namespace
+}  // namespace ordo

@@ -1,0 +1,154 @@
+// Tests for the symbolic Cholesky substrate: elimination tree structure,
+// postorder validity, and cross-validation of the Gilbert–Ng–Peyton column
+// counts against the quadratic reference on random and structured matrices.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cholesky/cholesky.hpp"
+#include "reorder/reordering.hpp"
+#include "sparse/csr_ops.hpp"
+#include "test_util.hpp"
+
+namespace ordo {
+namespace {
+
+using testing::grid_laplacian_2d;
+using testing::random_symmetric;
+
+TEST(EliminationTree, TridiagonalIsAPath) {
+  // Tridiagonal matrix: etree is the path 0 -> 1 -> ... -> n-1.
+  const index_t n = 10;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i + 1 < n) coo.add_symmetric(i, i + 1, -1.0);
+  }
+  const auto parent = elimination_tree(CsrMatrix::from_coo(coo));
+  for (index_t i = 0; i < n - 1; ++i) {
+    EXPECT_EQ(parent[static_cast<std::size_t>(i)], i + 1);
+  }
+  EXPECT_EQ(parent.back(), -1);
+}
+
+TEST(EliminationTree, DiagonalMatrixIsAForestOfRoots) {
+  const index_t n = 6;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  const auto parent = elimination_tree(CsrMatrix::from_coo(coo));
+  for (index_t p : parent) EXPECT_EQ(p, -1);
+}
+
+TEST(EliminationTree, ArrowMatrixPointsToApex) {
+  // Arrow matrix with last row/column full: every etree parent chain ends at
+  // n-1 and, with no other coupling, parent[i] == n-1 directly.
+  const index_t n = 8;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 4.0);
+  for (index_t i = 0; i + 1 < n; ++i) coo.add_symmetric(i, n - 1, -1.0);
+  const auto parent = elimination_tree(CsrMatrix::from_coo(coo));
+  for (index_t i = 0; i + 1 < n; ++i) {
+    EXPECT_EQ(parent[static_cast<std::size_t>(i)], n - 1);
+  }
+}
+
+TEST(TreePostorder, ChildrenBeforeParents) {
+  const CsrMatrix a = random_symmetric(120, 3.0, 3);
+  const auto parent = elimination_tree(a);
+  const auto post = tree_postorder(parent);
+  ASSERT_TRUE(is_valid_permutation(post));
+  std::vector<index_t> position(post.size());
+  for (std::size_t k = 0; k < post.size(); ++k) {
+    position[static_cast<std::size_t>(post[k])] = static_cast<index_t>(k);
+  }
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] != -1) {
+      EXPECT_LT(position[v], position[static_cast<std::size_t>(parent[v])]);
+    }
+  }
+}
+
+TEST(ColumnCounts, NoFillForTridiagonal) {
+  // A tridiagonal matrix factors with zero fill: L has 2 entries per column
+  // (diagonal + subdiagonal), except the last.
+  const index_t n = 12;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i + 1 < n) coo.add_symmetric(i, i + 1, -1.0);
+  }
+  const auto counts = cholesky_column_counts(CsrMatrix::from_coo(coo));
+  for (index_t j = 0; j < n - 1; ++j) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(j)], 2) << "column " << j;
+  }
+  EXPECT_EQ(counts.back(), 1);
+}
+
+TEST(ColumnCounts, DenseMatrixIsFullyFilled) {
+  const index_t n = 9;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) coo.add(i, j, 1.0);
+  }
+  const auto counts = cholesky_column_counts(CsrMatrix::from_coo(coo));
+  for (index_t j = 0; j < n; ++j) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(j)], n - j);
+  }
+}
+
+class ColumnCountsCrossValidation
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColumnCountsCrossValidation, MatchesQuadraticReference) {
+  const CsrMatrix a =
+      with_full_diagonal(random_symmetric(150, 4.0, GetParam()), 4.0);
+  EXPECT_EQ(cholesky_column_counts(a), symbolic_cholesky_reference(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnCountsCrossValidation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ColumnCounts, MatchesReferenceOnGrid) {
+  const CsrMatrix a = grid_laplacian_2d(14, 11);
+  EXPECT_EQ(cholesky_column_counts(a), symbolic_cholesky_reference(a));
+}
+
+TEST(ColumnCounts, MatchesReferenceAfterReordering) {
+  const CsrMatrix a = grid_laplacian_2d(12, 12);
+  for (OrderingKind kind : {OrderingKind::kRcm, OrderingKind::kAmd,
+                            OrderingKind::kNd}) {
+    const CsrMatrix b = apply_ordering(a, compute_ordering(a, kind));
+    EXPECT_EQ(cholesky_column_counts(b), symbolic_cholesky_reference(b))
+        << ordering_name(kind);
+  }
+}
+
+TEST(FillRatio, AmdReducesFillOnShuffledGrid) {
+  // A randomly permuted grid factors with far more fill than the same grid
+  // ordered by AMD — the core premise of Fig. 6.
+  const CsrMatrix a = grid_laplacian_2d(20, 20);
+  const CsrMatrix shuffled =
+      permute_symmetric(a, random_permutation(a.num_rows(), 31));
+  const CsrMatrix amd_ordered =
+      apply_ordering(shuffled, compute_ordering(shuffled, OrderingKind::kAmd));
+  EXPECT_LT(cholesky_fill_ratio(amd_ordered),
+            0.5 * cholesky_fill_ratio(shuffled));
+}
+
+TEST(FillRatio, NdCompetitiveWithAmdOnGrid) {
+  const CsrMatrix a = grid_laplacian_2d(24, 24);
+  const double amd_ratio = cholesky_fill_ratio(
+      apply_ordering(a, compute_ordering(a, OrderingKind::kAmd)));
+  const double nd_ratio = cholesky_fill_ratio(
+      apply_ordering(a, compute_ordering(a, OrderingKind::kNd)));
+  // ND should be within a factor 2 of AMD on a mesh problem.
+  EXPECT_LT(nd_ratio, 2.0 * amd_ratio);
+}
+
+TEST(FillRatio, AtLeastOne) {
+  const CsrMatrix a = grid_laplacian_2d(8, 8);
+  EXPECT_GE(cholesky_fill_ratio(a), 1.0 - 1e-12);
+}
+
+}  // namespace
+}  // namespace ordo

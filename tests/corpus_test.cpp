@@ -1,0 +1,189 @@
+// Tests for the corpus generators: structural invariants per family,
+// determinism, and the named stand-ins.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/corpus.hpp"
+#include "features/features.hpp"
+#include "sparse/csr_ops.hpp"
+
+namespace ordo {
+namespace {
+
+TEST(Generators, Mesh2dStencilCounts) {
+  const CsrMatrix a5 = gen_mesh2d(10, 10, 5);
+  EXPECT_EQ(a5.num_rows(), 100);
+  // Interior nodes have exactly 5 entries.
+  EXPECT_EQ(a5.row_nonzeros(5 * 10 + 5), 5);
+  EXPECT_TRUE(is_pattern_symmetric(a5));
+
+  const CsrMatrix a9 = gen_mesh2d(10, 10, 9);
+  EXPECT_EQ(a9.row_nonzeros(5 * 10 + 5), 9);
+  EXPECT_TRUE(is_pattern_symmetric(a9));
+}
+
+TEST(Generators, Mesh3dStencilCounts) {
+  const CsrMatrix a7 = gen_mesh3d(6, 6, 6, 7);
+  EXPECT_EQ(a7.num_rows(), 216);
+  EXPECT_EQ(a7.row_nonzeros((3 * 6 + 3) * 6 + 3), 7);
+  EXPECT_TRUE(is_pattern_symmetric(a7));
+
+  const CsrMatrix a27 = gen_mesh3d(5, 5, 5, 27);
+  EXPECT_EQ(a27.row_nonzeros((2 * 5 + 2) * 5 + 2), 27);
+  EXPECT_TRUE(is_pattern_symmetric(a27));
+}
+
+TEST(Generators, FemBlockedHasDenseBlocks) {
+  const CsrMatrix a = gen_fem_blocked(6, 6, 3);
+  EXPECT_EQ(a.num_rows(), 6 * 6 * 3);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+  // All three rows of one node share the same block-column support size.
+  EXPECT_EQ(a.row_nonzeros(0), a.row_nonzeros(1));
+  EXPECT_EQ(a.row_nonzeros(1), a.row_nonzeros(2));
+}
+
+TEST(Generators, RoadNetworkIsSparseAndSymmetric) {
+  const CsrMatrix a = gen_road_network(2000, 7);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+  const double avg_nnz_per_row =
+      static_cast<double>(a.num_nonzeros()) / a.num_rows();
+  EXPECT_LT(avg_nnz_per_row, 5.0);  // roads: degree ~2-3 plus diagonal
+  EXPECT_GE(avg_nnz_per_row, 1.0);
+}
+
+TEST(Generators, RmatIsDeterministicAndSkewed) {
+  const CsrMatrix a = gen_rmat(10, 8, 0.57, 0.19, 0.19, 5);
+  const CsrMatrix b = gen_rmat(10, 8, 0.57, 0.19, 0.19, 5);
+  EXPECT_EQ(a, b);
+  // Power-law skew: the maximum degree should far exceed the average.
+  offset_t max_row = 0;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    max_row = std::max(max_row, a.row_nonzeros(i));
+  }
+  const double avg = static_cast<double>(a.num_nonzeros()) / a.num_rows();
+  EXPECT_GT(static_cast<double>(max_row), 5.0 * avg);
+}
+
+TEST(Generators, DebruijnHasBoundedDegreeMostly) {
+  const CsrMatrix a = gen_debruijn_chain(3000, 0.02, 3);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+  index_t high_degree_rows = 0;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    if (a.row_nonzeros(i) > 5) ++high_degree_rows;
+  }
+  EXPECT_LT(high_degree_rows, a.num_rows() / 10);
+}
+
+TEST(Generators, CircuitHasDenseRails) {
+  const CsrMatrix a = gen_circuit(3000, 2, 2.0, 11);
+  offset_t max_row = 0;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    max_row = std::max(max_row, a.row_nonzeros(i));
+  }
+  EXPECT_GT(max_row, 500);  // a rail touches ~n/3 nodes
+}
+
+TEST(Generators, KktHasSaddlePointShape) {
+  const CsrMatrix a = gen_kkt(6, 6, 6, 1);
+  EXPECT_TRUE(a.is_square());
+  EXPECT_GT(a.num_rows(), 216);  // primal + constraints
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(Generators, MycielskianSizesFollowRecurrence) {
+  // n_{k+1} = 2 n_k + 1 starting from n_2 = 2.
+  index_t expected = 2;
+  for (int k = 2; k <= 8; ++k) {
+    const CsrMatrix a = gen_mycielskian(k);
+    EXPECT_EQ(a.num_rows(), expected) << "k=" << k;
+    EXPECT_TRUE(is_pattern_symmetric(a));
+    expected = 2 * expected + 1;
+  }
+}
+
+TEST(Generators, MycielskianIsTriangleFreeSmall) {
+  // The Mycielski construction preserves triangle-freeness.
+  const CsrMatrix a = gen_mycielskian(5);
+  const index_t n = a.num_rows();
+  for (index_t u = 0; u < n; ++u) {
+    for (index_t v : a.row_cols(u)) {
+      if (v <= u) continue;
+      for (index_t w : a.row_cols(v)) {
+        if (w <= v || w == u) continue;
+        const auto row_u = a.row_cols(u);
+        const bool closes_triangle =
+            std::binary_search(row_u.begin(), row_u.end(), w);
+        EXPECT_FALSE(closes_triangle)
+            << "triangle " << u << "," << v << "," << w;
+      }
+    }
+  }
+}
+
+TEST(Generators, DenseTallSkinnyIsFullyDense) {
+  const CsrMatrix a = gen_dense_tall_skinny(100, 40);
+  EXPECT_EQ(a.num_nonzeros(), 4000);
+  EXPECT_EQ(a.row_nonzeros(50), 40);
+}
+
+TEST(Corpus, GeneratesRequestedCountDeterministically) {
+  CorpusOptions options;
+  options.count = 30;
+  options.scale = 0.05;
+  const auto corpus_a = generate_corpus(options);
+  const auto corpus_b = generate_corpus(options);
+  ASSERT_EQ(corpus_a.size(), 30u);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < corpus_a.size(); ++i) {
+    EXPECT_EQ(corpus_a[i].name, corpus_b[i].name);
+    EXPECT_EQ(corpus_a[i].matrix, corpus_b[i].matrix);
+    EXPECT_TRUE(corpus_a[i].matrix.is_square());
+    EXPECT_GT(corpus_a[i].matrix.num_nonzeros(), 0);
+    names.insert(corpus_a[i].name);
+  }
+  EXPECT_EQ(names.size(), corpus_a.size()) << "names must be unique";
+}
+
+TEST(Corpus, ContainsDiverseFamilies) {
+  CorpusOptions options;
+  options.count = 60;
+  options.scale = 0.05;
+  const auto corpus = generate_corpus(options);
+  std::set<std::string> groups;
+  for (const auto& entry : corpus) groups.insert(entry.group);
+  EXPECT_GE(groups.size(), 10u);
+}
+
+TEST(Corpus, SpdEntriesHaveSymmetricPatternAndFullDiagonal) {
+  CorpusOptions options;
+  options.count = 40;
+  options.scale = 0.05;
+  for (const auto& entry : generate_corpus(options)) {
+    if (!entry.spd) continue;
+    EXPECT_TRUE(is_pattern_symmetric(entry.matrix)) << entry.name;
+    EXPECT_EQ(diagonal_nonzeros(entry.matrix), entry.matrix.num_rows())
+        << entry.name;
+  }
+}
+
+TEST(NamedStandins, AllGenerate) {
+  for (const std::string& name : named_standins()) {
+    const CorpusEntry entry = generate_named(name, 0.05);
+    EXPECT_TRUE(entry.matrix.is_square()) << name;
+    EXPECT_GT(entry.matrix.num_nonzeros(), 0) << name;
+    EXPECT_EQ(entry.name, name);
+  }
+  EXPECT_THROW(generate_named("not_a_matrix", 1.0), invalid_argument_error);
+}
+
+TEST(NamedStandins, ShuffledMatricesHaveLargeBandwidth) {
+  // The Fig. 1 stand-ins rely on the stored order being bad; verify 333SP's
+  // bandwidth is far above the natural mesh bandwidth.
+  const CorpusEntry entry = generate_named("333SP", 0.05);
+  const index_t n = entry.matrix.num_rows();
+  EXPECT_GT(matrix_bandwidth(entry.matrix), n / 4);
+}
+
+}  // namespace
+}  // namespace ordo

@@ -1,0 +1,131 @@
+// Integration tests for the experiment pipeline: full-study execution on a
+// tiny corpus, result-file round-trips, and the cache layer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/experiment.hpp"
+
+namespace ordo {
+namespace {
+
+CorpusOptions tiny_corpus() {
+  CorpusOptions options;
+  options.count = 4;
+  options.scale = 0.02;
+  return options;
+}
+
+TEST(FullStudy, ProducesRowsForEveryMachineAndKernel) {
+  const auto corpus = generate_corpus(tiny_corpus());
+  StudyOptions options;
+  const StudyResults results = run_full_study(corpus, options);
+  EXPECT_EQ(results.size(), 16u);  // 8 machines x 2 kernels
+  for (const auto& [key, rows] : results) {
+    EXPECT_EQ(rows.size(), corpus.size()) << key.first;
+    for (const MeasurementRow& row : rows) {
+      ASSERT_EQ(row.orderings.size(), 7u);
+      for (const OrderingMeasurement& m : row.orderings) {
+        EXPECT_GT(m.gflops_max, 0.0);
+        EXPECT_GE(m.imbalance, 0.99);
+        EXPECT_GT(m.seconds, 0.0);
+      }
+      EXPECT_EQ(row.threads, architecture_by_name(key.first).cores);
+    }
+  }
+}
+
+TEST(FullStudy, TwoDImbalanceIsAlwaysOne) {
+  const auto corpus = generate_corpus(tiny_corpus());
+  StudyOptions options;
+  const StudyResults results = run_full_study(corpus, options);
+  for (const auto& [key, rows] : results) {
+    if (key.second != SpmvKernel::k2D) continue;
+    for (const MeasurementRow& row : rows) {
+      for (const OrderingMeasurement& m : row.orderings) {
+        // The even nonzero split differs by at most one nonzero per thread,
+        // so max <= mean + 1 exactly (the paper's footnote 1: imbalance is
+        // always 1, up to this integer granularity).
+        EXPECT_LE(static_cast<double>(m.max_thread_nnz),
+                  m.mean_thread_nnz + 1.0)
+            << row.name;
+      }
+    }
+  }
+}
+
+TEST(ReorderingSpeedups, DividesByOriginal) {
+  MeasurementRow row;
+  row.orderings.resize(7);
+  for (std::size_t k = 0; k < 7; ++k) {
+    row.orderings[k].gflops_max = static_cast<double>(k + 1);
+  }
+  const auto speedups = reordering_speedups(row);
+  ASSERT_EQ(speedups.size(), 6u);
+  EXPECT_DOUBLE_EQ(speedups[0], 2.0);
+  EXPECT_DOUBLE_EQ(speedups[5], 7.0);
+}
+
+TEST(ResultsFile, RoundTrip) {
+  const auto corpus = generate_corpus(tiny_corpus());
+  StudyOptions options;
+  const StudyResults results = run_full_study(corpus, options);
+  const auto& rows = results.at({"Rome", SpmvKernel::k1D});
+
+  const std::string path = ::testing::TempDir() + "/ordo_results_test.txt";
+  write_results_file(path, rows);
+  const auto loaded = read_results_file(path);
+  ASSERT_EQ(loaded.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, rows[i].name);
+    EXPECT_EQ(loaded[i].nnz, rows[i].nnz);
+    for (std::size_t k = 0; k < 7; ++k) {
+      EXPECT_NEAR(loaded[i].orderings[k].gflops_max,
+                  rows[i].orderings[k].gflops_max,
+                  1e-6 * rows[i].orderings[k].gflops_max);
+      EXPECT_EQ(loaded[i].orderings[k].bandwidth,
+                rows[i].orderings[k].bandwidth);
+      EXPECT_EQ(loaded[i].orderings[k].off_diagonal_nnz,
+                rows[i].orderings[k].off_diagonal_nnz);
+    }
+  }
+}
+
+TEST(ResultsFilename, MatchesArtifactConvention) {
+  EXPECT_EQ(results_filename(SpmvKernel::k1D, architecture_by_name("Milan B"),
+                             490),
+            "csr_1d_milan_b_128_threads_ss490.txt");
+  EXPECT_EQ(results_filename(SpmvKernel::k2D, architecture_by_name("Rome"),
+                             56),
+            "csr_2d_rome_16_threads_ss56.txt");
+}
+
+TEST(StudyCache, SecondLoadReadsFiles) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/ordo_cache_test";
+  fs::remove_all(dir);
+
+  StudyOptions options;
+  const StudyResults first = load_or_run_study(dir, tiny_corpus(), options);
+  // All 16 files must exist now.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".txt") ++files;
+  }
+  EXPECT_EQ(files, 16u);
+
+  const StudyResults second = load_or_run_study(dir, tiny_corpus(), options);
+  ASSERT_EQ(second.size(), first.size());
+  const auto& a = first.at({"Skylake", SpmvKernel::k1D});
+  const auto& b = second.at({"Skylake", SpmvKernel::k1D});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_NEAR(a[i].orderings[4].gflops_max, b[i].orderings[4].gflops_max,
+                1e-6 * a[i].orderings[4].gflops_max);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ordo

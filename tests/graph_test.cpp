@@ -1,0 +1,119 @@
+// Tests for the graph substrate: construction, BFS, components and the
+// pseudo-peripheral vertex heuristic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "test_util.hpp"
+
+namespace ordo {
+namespace {
+
+using testing::grid_laplacian_2d;
+
+Graph path_graph(index_t n) {
+  std::vector<offset_t> ptr{0};
+  std::vector<index_t> adj;
+  for (index_t v = 0; v < n; ++v) {
+    if (v > 0) adj.push_back(v - 1);
+    if (v + 1 < n) adj.push_back(v + 1);
+    ptr.push_back(static_cast<offset_t>(adj.size()));
+  }
+  return Graph(n, std::move(ptr), std::move(adj));
+}
+
+TEST(Graph, FromMatrixDropsDiagonalAndSymmetrizes) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 1.0);  // unsymmetric entry
+  coo.add(2, 2, 1.0);
+  const Graph g = Graph::from_matrix(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 1);  // only {0,1}
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadAdjacency) {
+  EXPECT_THROW(Graph(2, {0, 1, 2}, {0, 0}), invalid_argument_error);  // loop
+  EXPECT_THROW(Graph(2, {0, 1, 2}, {5, 0}), invalid_argument_error);  // range
+  EXPECT_THROW(Graph(2, {0, 1}, {1}), invalid_argument_error);  // ptr size
+}
+
+TEST(Bfs, LevelsOnPath) {
+  const Graph g = path_graph(6);
+  const auto levels = bfs_levels(g, 0);
+  for (index_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(levels[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Bfs, UnreachableVerticesStayAtMinusOne) {
+  CooMatrix coo(4, 4);
+  coo.add_symmetric(0, 1, 1.0);
+  coo.add_symmetric(2, 3, 1.0);
+  const Graph g = Graph::from_matrix(CsrMatrix::from_coo(coo));
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], -1);
+  EXPECT_EQ(levels[3], -1);
+}
+
+TEST(BfsDegreeOrdered, VisitsLowDegreeFirstWithinLevel) {
+  // Star with an extra pendant on leaf 1: from the hub, leaves are level 1
+  // and must be visited in ascending degree order (leaf 1 has degree 2, the
+  // rest degree 1, so leaf 1 comes last in its level).
+  CooMatrix coo(6, 6);
+  for (index_t leaf = 1; leaf <= 4; ++leaf) coo.add_symmetric(0, leaf, 1.0);
+  coo.add_symmetric(1, 5, 1.0);
+  const Graph g = Graph::from_matrix(CsrMatrix::from_coo(coo));
+  const BfsResult bfs = bfs_degree_ordered(g, 0);
+  ASSERT_EQ(bfs.order.size(), 6u);
+  EXPECT_EQ(bfs.order[0], 0);
+  EXPECT_EQ(bfs.order[4], 1);  // the degree-2 leaf is last in level 1
+  EXPECT_EQ(bfs.eccentricity, 2);
+}
+
+TEST(Components, CountsAndLabels) {
+  CooMatrix coo(7, 7);
+  coo.add_symmetric(0, 1, 1.0);
+  coo.add_symmetric(1, 2, 1.0);
+  coo.add_symmetric(3, 4, 1.0);
+  // vertices 5, 6 isolated
+  const Graph g = Graph::from_matrix(CsrMatrix::from_coo(coo));
+  const Components components = connected_components(g);
+  EXPECT_EQ(components.count, 4);
+  EXPECT_EQ(components.component[0], components.component[2]);
+  EXPECT_NE(components.component[0], components.component[3]);
+  EXPECT_NE(components.component[5], components.component[6]);
+}
+
+TEST(PseudoPeripheral, FindsPathEndpoint) {
+  const Graph g = path_graph(31);
+  // From the middle of a path, the heuristic must walk to an endpoint.
+  const index_t v = pseudo_peripheral_vertex(g, 15);
+  EXPECT_TRUE(v == 0 || v == 30) << "got " << v;
+}
+
+TEST(PseudoPeripheral, GridCornerish) {
+  const Graph g = Graph::from_matrix(grid_laplacian_2d(9, 9));
+  const index_t v = pseudo_peripheral_vertex(g, 4 * 9 + 4);  // center
+  // The result must have grid eccentricity no less than starting from the
+  // center (8); corners achieve 16.
+  const auto levels = bfs_levels(g, v);
+  const index_t ecc = *std::max_element(levels.begin(), levels.end());
+  EXPECT_GE(ecc, 12);
+}
+
+TEST(Graph, WeightedAccessors) {
+  Graph g(3, {0, 1, 2, 2}, {1, 0}, {5, 7, 2}, {3, 3});
+  EXPECT_EQ(g.vertex_weight(1), 7);
+  EXPECT_EQ(g.edge_weight(0), 3);
+  EXPECT_EQ(g.total_vertex_weight(), 14);
+  EXPECT_TRUE(g.has_weights());
+}
+
+}  // namespace
+}  // namespace ordo

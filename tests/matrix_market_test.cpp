@@ -1,0 +1,129 @@
+// Tests for the Matrix Market reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/csr_ops.hpp"
+#include "sparse/matrix_market.hpp"
+#include "test_util.hpp"
+
+namespace ordo {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralRealCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 1 4.0\n"
+      "3 3 1.0\n");
+  const CsrMatrix a = to_csr(read_matrix_market(in));
+  EXPECT_EQ(a.num_rows(), 3);
+  EXPECT_EQ(a.num_nonzeros(), 4);
+  EXPECT_EQ(a.row_cols(1).size(), 1u);
+  EXPECT_EQ(a.row_cols(1)[0], 2);
+  EXPECT_DOUBLE_EQ(a.row_values(2)[0], 4.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetricStorage) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 2 -1.0\n");
+  const CsrMatrix a = to_csr(read_matrix_market(in));
+  // Off-diagonals are mirrored into both triangles (Section 4.1).
+  EXPECT_EQ(a.num_nonzeros(), 5);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+  EXPECT_DOUBLE_EQ(a.row_values(0)[1], -1.0);  // A(0,1) mirrored from (2,1)
+}
+
+TEST(MatrixMarket, SkewSymmetricMirrorsWithSignFlip) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const CsrMatrix a = to_csr(read_matrix_market(in));
+  EXPECT_EQ(a.num_nonzeros(), 2);
+  EXPECT_DOUBLE_EQ(a.row_values(0)[0], -3.0);
+  EXPECT_DOUBLE_EQ(a.row_values(1)[0], 3.0);
+}
+
+TEST(MatrixMarket, PatternFieldDefaultsToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const CsrMatrix a = to_csr(read_matrix_market(in));
+  EXPECT_DOUBLE_EQ(a.row_values(0)[0], 1.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  {
+    std::istringstream in("not a matrix market file\n");
+    EXPECT_THROW(read_matrix_market(in), invalid_argument_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");  // declares 2 entries, provides 1
+    EXPECT_THROW(read_matrix_market(in), invalid_argument_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n"
+        "1 1 1\n"
+        "1 1 1.0 0.0\n");
+    EXPECT_THROW(read_matrix_market(in), invalid_argument_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix array real general\n"
+        "1 1\n"
+        "1.0\n");
+    EXPECT_THROW(read_matrix_market(in), invalid_argument_error);
+  }
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndices) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), invalid_argument_error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const CsrMatrix a = testing::random_square(60, 4.0, 9);
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  std::istringstream in(out.str());
+  const CsrMatrix b = to_csr(read_matrix_market(in));
+  ASSERT_EQ(a.num_nonzeros(), b.num_nonzeros());
+  EXPECT_TRUE(std::ranges::equal(a.row_ptr(), b.row_ptr()));
+  EXPECT_TRUE(std::ranges::equal(a.col_idx(), b.col_idx()));
+  for (std::size_t k = 0; k < a.values().size(); ++k) {
+    EXPECT_NEAR(a.values()[k], b.values()[k], 1e-9);
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const CsrMatrix a = testing::grid_laplacian_2d(6, 5);
+  const std::string path = ::testing::TempDir() + "/ordo_mm_roundtrip.mtx";
+  save_matrix_market(path, a);
+  const CsrMatrix b = load_matrix_market(path);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MatrixMarket, LoadMissingFileThrows) {
+  EXPECT_THROW(load_matrix_market("/nonexistent/definitely_not_here.mtx"),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace ordo

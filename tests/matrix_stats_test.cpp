@@ -1,0 +1,80 @@
+// Tests for the descriptive matrix statistics and the gnuplot emitters.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/gnuplot.hpp"
+#include "features/matrix_stats.hpp"
+#include "test_util.hpp"
+
+namespace ordo {
+namespace {
+
+TEST(MatrixStats, UniformGridIsSymmetricAndUnskewed) {
+  const CsrMatrix a = testing::grid_laplacian_2d(12, 12);
+  const MatrixStats stats = compute_matrix_stats(a);
+  EXPECT_EQ(stats.rows, 144);
+  EXPECT_DOUBLE_EQ(stats.symmetry, 1.0);
+  EXPECT_DOUBLE_EQ(stats.diagonal_coverage, 1.0);
+  EXPECT_EQ(stats.empty_rows, 0);
+  EXPECT_LT(stats.row_skew, 0.1);
+  EXPECT_EQ(stats.max_row_nnz, 5);
+  EXPECT_EQ(stats.min_row_nnz, 3);
+}
+
+TEST(MatrixStats, DetectsUnsymmetryAndSkew) {
+  // One dense row, otherwise diagonal: heavily skewed and unsymmetric.
+  const index_t n = 100;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  for (index_t j = 1; j < n; ++j) coo.add(0, j, 1.0);
+  const MatrixStats stats = compute_matrix_stats(CsrMatrix::from_coo(coo));
+  EXPECT_LT(stats.symmetry, 0.05);
+  EXPECT_GT(stats.row_skew, 0.4);
+  EXPECT_EQ(stats.max_row_nnz, n);
+}
+
+TEST(MatrixStats, CountsEmptyRows) {
+  CooMatrix coo(5, 5);
+  coo.add(0, 0, 1.0);
+  coo.add(4, 2, 1.0);
+  const MatrixStats stats = compute_matrix_stats(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(stats.empty_rows, 3);
+  EXPECT_EQ(stats.min_row_nnz, 0);
+  EXPECT_NEAR(stats.diagonal_coverage, 0.2, 1e-12);
+}
+
+TEST(Gnuplot, WritesDatAndScript) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/ordo_gnuplot_test";
+  fs::remove_all(dir);
+  std::vector<BoxplotCell> cells;
+  BoxStats stats;
+  stats.min = 0.5;
+  stats.q1 = 0.9;
+  stats.median = 1.0;
+  stats.q3 = 1.2;
+  stats.max = 3.0;
+  stats.count = 10;
+  cells.push_back(BoxplotCell{"Milan B", "GP", stats});
+  cells.push_back(BoxplotCell{"Milan B", "RCM", stats});
+  write_boxplot_gnuplot(dir, "test_fig", "test title", cells);
+
+  ASSERT_TRUE(fs::exists(fs::path(dir) / "test_fig.dat"));
+  ASSERT_TRUE(fs::exists(fs::path(dir) / "test_fig.gp"));
+  std::ifstream dat(fs::path(dir) / "test_fig.dat");
+  std::string header;
+  std::getline(dat, header);
+  EXPECT_NE(header.find("median"), std::string::npos);
+  int data_lines = 0;
+  std::string line;
+  while (std::getline(dat, line)) {
+    if (!line.empty()) ++data_lines;
+  }
+  EXPECT_EQ(data_lines, 2);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ordo

@@ -1,0 +1,235 @@
+// Tests for the multilevel graph and hypergraph partitioners: matching and
+// contraction invariants, FM gain correctness, balance constraints, cut
+// quality on structured graphs, and separator properties.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <queue>
+
+#include "partition/coarsening.hpp"
+#include "partition/fm_refinement.hpp"
+#include "partition/graph_partitioner.hpp"
+#include "partition/hypergraph.hpp"
+#include "partition/hypergraph_partitioner.hpp"
+#include "partition/initial_partition.hpp"
+#include "test_util.hpp"
+
+namespace ordo {
+namespace {
+
+using testing::grid_laplacian_2d;
+using testing::random_symmetric;
+
+TEST(Matching, IsSymmetricAndComplete) {
+  const Graph g = Graph::from_matrix(random_symmetric(300, 4.0, 2));
+  const auto match = heavy_edge_matching(g, 7);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const index_t partner = match[static_cast<std::size_t>(v)];
+    ASSERT_GE(partner, 0);
+    EXPECT_EQ(match[static_cast<std::size_t>(partner)], v);
+  }
+}
+
+TEST(Contract, PreservesTotalVertexWeight) {
+  const Graph g = Graph::from_matrix(grid_laplacian_2d(15, 15));
+  const CoarseLevel level = coarsen_once(g, 3);
+  EXPECT_EQ(level.graph.total_vertex_weight(), g.total_vertex_weight());
+  EXPECT_LT(level.graph.num_vertices(), g.num_vertices());
+  // At least a good fraction of vertices must match on a grid.
+  EXPECT_LE(level.graph.num_vertices(), 3 * g.num_vertices() / 4);
+}
+
+TEST(Contract, EdgeWeightsAggregateCutInvariantly) {
+  // The total edge weight of the coarse graph plus contracted-away edge
+  // weight equals the fine total.
+  const Graph g = Graph::from_matrix(grid_laplacian_2d(10, 10));
+  const auto match = heavy_edge_matching(g, 1);
+  const CoarseLevel level = contract(g, match);
+  std::int64_t fine_total = 0;
+  for (offset_t e = 0; e < g.num_adjacency_entries(); ++e) {
+    fine_total += g.edge_weight(e);
+  }
+  std::int64_t coarse_total = 0;
+  for (offset_t e = 0; e < level.graph.num_adjacency_entries(); ++e) {
+    coarse_total += level.graph.edge_weight(e);
+  }
+  std::int64_t contracted = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const index_t partner = match[static_cast<std::size_t>(v)];
+    if (partner == v) continue;
+    const auto neighbors = g.neighbors(v);
+    const offset_t base = g.adj_ptr()[v];
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      if (neighbors[k] == partner) {
+        contracted += g.edge_weight(base + static_cast<offset_t>(k));
+      }
+    }
+  }
+  EXPECT_EQ(coarse_total + contracted, fine_total);
+}
+
+TEST(FmGain, MatchesBruteForceCutDelta) {
+  const Graph g = Graph::from_matrix(random_symmetric(80, 4.0, 5));
+  std::vector<index_t> part(static_cast<std::size_t>(g.num_vertices()));
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    part[static_cast<std::size_t>(v)] = v % 2;
+  }
+  const std::int64_t base_cut = compute_edge_cut(g, part);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const std::int64_t gain = fm_move_gain(g, part, v);
+    part[static_cast<std::size_t>(v)] = 1 - part[static_cast<std::size_t>(v)];
+    EXPECT_EQ(base_cut - compute_edge_cut(g, part), gain) << "vertex " << v;
+    part[static_cast<std::size_t>(v)] = 1 - part[static_cast<std::size_t>(v)];
+  }
+}
+
+TEST(FmRefine, NeverWorsensCutAndRespectsBalance) {
+  const Graph g = Graph::from_matrix(random_symmetric(200, 5.0, 3));
+  std::vector<index_t> part(static_cast<std::size_t>(g.num_vertices()));
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    part[static_cast<std::size_t>(v)] = (v * 7) % 2;
+  }
+  const std::int64_t before = compute_edge_cut(g, part);
+  BisectionBalance balance;
+  balance.min_weight0 = g.num_vertices() * 2 / 5;
+  balance.max_weight0 = g.num_vertices() * 3 / 5;
+  const std::int64_t improvement = fm_refine_bisection(g, part, balance, 8);
+  const std::int64_t after = compute_edge_cut(g, part);
+  EXPECT_EQ(before - after, improvement);
+  EXPECT_GE(improvement, 0);
+  std::int64_t weight0 = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    if (part[static_cast<std::size_t>(v)] == 0) weight0 += 1;
+  }
+  EXPECT_GE(weight0, balance.min_weight0);
+  EXPECT_LE(weight0, balance.max_weight0);
+}
+
+TEST(Bisection, GridCutNearOptimal) {
+  // Bisecting an n x n grid optimally cuts n edges; the multilevel
+  // partitioner should be within a small factor.
+  const index_t side = 24;
+  const Graph g = Graph::from_matrix(grid_laplacian_2d(side, side));
+  PartitionOptions options;
+  const PartitionResult result = bisect_graph(g, 0.5, options);
+  EXPECT_LE(result.cut, 3 * side);
+  EXPECT_LE(result.imbalance, 1.0 + 2 * options.imbalance_tolerance);
+}
+
+TEST(KwayPartition, BalancedForNonPowerOfTwoParts) {
+  const Graph g = Graph::from_matrix(grid_laplacian_2d(30, 30));
+  for (index_t parts : {3, 6, 12, 48, 72}) {
+    PartitionOptions options;
+    options.num_parts = parts;
+    const PartitionResult result = partition_graph(g, options);
+    EXPECT_EQ(*std::max_element(result.part.begin(), result.part.end()) + 1,
+              parts);
+    EXPECT_LE(result.imbalance, 1.35) << parts << " parts";
+  }
+}
+
+TEST(KwayPartition, CutGrowsWithParts) {
+  const Graph g = Graph::from_matrix(grid_laplacian_2d(24, 24));
+  std::int64_t previous = 0;
+  for (index_t parts : {2, 8, 32}) {
+    PartitionOptions options;
+    options.num_parts = parts;
+    const PartitionResult result = partition_graph(g, options);
+    EXPECT_GT(result.cut, previous);
+    previous = result.cut;
+  }
+}
+
+TEST(Separator, DisconnectsTheParts) {
+  const Graph g = Graph::from_matrix(grid_laplacian_2d(16, 16));
+  PartitionOptions options;
+  const PartitionResult bisection = bisect_graph(g, 0.5, options);
+  const auto separator = vertex_separator_from_bisection(g, bisection.part);
+  // No edge may connect part 0 to part 1 once separator vertices are gone.
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    if (separator[static_cast<std::size_t>(v)]) continue;
+    for (index_t u : g.neighbors(v)) {
+      if (separator[static_cast<std::size_t>(u)]) continue;
+      EXPECT_EQ(bisection.part[static_cast<std::size_t>(v)],
+                bisection.part[static_cast<std::size_t>(u)]);
+    }
+  }
+  // Separator should be small on a grid (O(side)).
+  index_t separator_size = 0;
+  for (bool in : separator) separator_size += in ? 1 : 0;
+  EXPECT_LE(separator_size, 64);
+}
+
+TEST(Hypergraph, ColumnNetStructure) {
+  // 3x3 matrix: column 0 has 2 nonzeros -> one net; single-entry columns
+  // are dropped.
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(2, 2, 1.0);
+  const Hypergraph h = Hypergraph::column_net(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(h.num_vertices(), 3);
+  EXPECT_EQ(h.num_nets(), 1);
+  EXPECT_EQ(h.num_pins(), 2);
+  EXPECT_EQ(h.vertex_nets(1).size(), 0u);
+}
+
+TEST(Hypergraph, CutMetricsOnKnownPartition) {
+  // Two nets: {0,1} and {0,1,2}. Partition {0}|{1,2}: both nets cut;
+  // connectivity-1 = 1 + 1.
+  Hypergraph h(3, {0, 2, 5}, {0, 1, 0, 1, 2}, {}, {});
+  const std::vector<index_t> part{0, 1, 1};
+  EXPECT_EQ(compute_cut_nets(h, part), 2);
+  EXPECT_EQ(compute_connectivity_minus_one(h, part, 2), 2);
+  const std::vector<index_t> together{0, 0, 0};
+  EXPECT_EQ(compute_cut_nets(h, together), 0);
+}
+
+TEST(HypergraphCoarsening, PreservesWeightAndDropsDegenerateNets) {
+  const CsrMatrix a = random_symmetric(200, 4.0, 8);
+  const Hypergraph h = Hypergraph::column_net(a);
+  const HypergraphCoarseLevel level = coarsen_hypergraph_once(h, 5);
+  EXPECT_EQ(level.hypergraph.total_vertex_weight(), h.total_vertex_weight());
+  EXPECT_LE(level.hypergraph.num_vertices(), h.num_vertices());
+  for (index_t e = 0; e < level.hypergraph.num_nets(); ++e) {
+    EXPECT_GE(level.hypergraph.net_pins(e).size(), 2u);
+  }
+}
+
+TEST(HypergraphBisection, BalancedAndBetterThanRandom) {
+  const CsrMatrix a = grid_laplacian_2d(20, 20);
+  const Hypergraph h = Hypergraph::column_net(a);
+  PartitionOptions options;
+  const PartitionResult result = bisect_hypergraph(h, 0.5, options);
+  EXPECT_LE(result.imbalance, 1.15);
+  // Random bisection of a grid column-net hypergraph cuts nearly every net;
+  // the partitioner should cut a small fraction.
+  EXPECT_LT(result.cut, h.num_nets() / 4);
+}
+
+TEST(HypergraphKway, PartitionsInto128Parts) {
+  const CsrMatrix a = random_symmetric(1600, 5.0, 4);
+  const Hypergraph h = Hypergraph::column_net(a);
+  PartitionOptions options;
+  options.num_parts = 128;
+  const PartitionResult result = partition_hypergraph(h, options);
+  EXPECT_EQ(*std::max_element(result.part.begin(), result.part.end()) + 1,
+            128);
+  // Recursive bisection compounds the per-level tolerance (~1.05^7) plus
+  // integer granularity at ~12 vertices per part.
+  EXPECT_LE(result.imbalance, 1.7);
+}
+
+TEST(GraphGrowing, HitsWeightTarget) {
+  const Graph g = Graph::from_matrix(grid_laplacian_2d(20, 20));
+  const auto part = greedy_graph_growing_bisection(g, 0.25, 3);
+  std::int64_t weight0 = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    if (part[static_cast<std::size_t>(v)] == 0) weight0 += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(weight0), 100.0, 12.0);
+}
+
+}  // namespace
+}  // namespace ordo

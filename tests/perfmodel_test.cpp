@@ -1,0 +1,179 @@
+// Tests for the performance-model substrate: Fenwick tree, stack-distance
+// engine (validated against an explicit LRU simulator), architecture table,
+// and qualitative properties of the SpMV cost model.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "perfmodel/spmv_model.hpp"
+#include "reorder/reordering.hpp"
+#include "sparse/csr_ops.hpp"
+#include "test_util.hpp"
+
+namespace ordo {
+namespace {
+
+using testing::grid_laplacian_2d;
+using testing::random_square;
+
+TEST(Fenwick, PointUpdatesAndRangeSums) {
+  FenwickTree tree(10);
+  tree.add(0, 3);
+  tree.add(4, 5);
+  tree.add(9, 2);
+  EXPECT_EQ(tree.prefix_sum(0), 0);
+  EXPECT_EQ(tree.prefix_sum(1), 3);
+  EXPECT_EQ(tree.prefix_sum(5), 8);
+  EXPECT_EQ(tree.prefix_sum(10), 10);
+  EXPECT_EQ(tree.range_sum(1, 5), 5);
+  EXPECT_EQ(tree.range_sum(5, 10), 2);
+  tree.add(4, -5);
+  EXPECT_EQ(tree.range_sum(0, 10), 5);
+}
+
+TEST(StackDistance, SimpleStream) {
+  // Stream: a b a  -> a's second access has distance 1 (only b between).
+  const std::vector<index_t> lines{0, 1, 0};
+  const ReuseProfile profile = analyze_reuse(lines, 2);
+  EXPECT_EQ(profile.stack_distance[0], ReuseProfile::kCold);
+  EXPECT_EQ(profile.stack_distance[1], ReuseProfile::kCold);
+  EXPECT_EQ(profile.stack_distance[2], 1);
+  EXPECT_EQ(profile.previous_access[2], 0);
+}
+
+TEST(StackDistance, RepeatedAccessHasDistanceZero) {
+  const std::vector<index_t> lines{5, 5, 5};
+  const ReuseProfile profile = analyze_reuse(lines, 6);
+  EXPECT_EQ(profile.stack_distance[1], 0);
+  EXPECT_EQ(profile.stack_distance[2], 0);
+}
+
+class StackDistanceVsLru
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StackDistanceVsLru, MissCountsMatchExplicitSimulation) {
+  const auto [capacity, num_lines] = GetParam();
+  std::mt19937_64 rng(capacity * 1000 + num_lines);
+  std::uniform_int_distribution<index_t> dist(0, num_lines - 1);
+  std::vector<index_t> stream(4000);
+  for (auto& line : stream) line = dist(rng);
+
+  const ReuseProfile profile =
+      analyze_reuse(stream, static_cast<index_t>(num_lines));
+  const std::int64_t fast = count_misses(
+      profile, 0, static_cast<offset_t>(stream.size()), capacity);
+  const std::int64_t reference = simulate_lru_misses(stream, capacity);
+  EXPECT_EQ(fast, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacitiesAndUniverses, StackDistanceVsLru,
+    ::testing::Combine(::testing::Values(1, 2, 8, 32, 100),
+                       ::testing::Values(4, 16, 64, 300)));
+
+TEST(StackDistance, SegmentTreatsEarlierAccessesAsCold) {
+  // Stream: a b a b. Segment [2,4): both accesses have previous access
+  // before the segment, so any capacity sees 2 misses.
+  const std::vector<index_t> lines{0, 1, 0, 1};
+  const ReuseProfile profile = analyze_reuse(lines, 2);
+  EXPECT_EQ(count_misses(profile, 2, 4, 100), 2);
+  EXPECT_EQ(count_misses(profile, 0, 4, 100), 2);  // only cold misses
+  EXPECT_EQ(count_misses(profile, 0, 4, 1), 4);    // thrashing at capacity 1
+}
+
+TEST(Architectures, TableHasAllEightMachines) {
+  const auto& machines = table2_architectures();
+  ASSERT_EQ(machines.size(), 8u);
+  EXPECT_EQ(machines[0].name, "Skylake");
+  EXPECT_EQ(machines[5].name, "Milan B");
+  EXPECT_EQ(machines[5].cores, 128);
+  EXPECT_EQ(machines[3].sockets, 1);  // Rome is the single-socket part
+  EXPECT_EQ(architecture_by_name("TX2").isa, "ARMv8.1");
+  EXPECT_THROW(architecture_by_name("M1"), invalid_argument_error);
+}
+
+TEST(Architectures, DistinctThreadCountsMatchPaper) {
+  EXPECT_EQ(distinct_thread_counts(), (std::vector<int>{16, 32, 48, 64, 72, 128}));
+}
+
+TEST(SpmvModel, EmptyMatrixGivesZero) {
+  const CsrMatrix a(0, 0, {0}, {}, {});
+  const SpmvEstimate estimate =
+      estimate_spmv(a, SpmvKernel::k1D, architecture_by_name("Rome"));
+  EXPECT_EQ(estimate.seconds, 0.0);
+}
+
+TEST(SpmvModel, ImbalanceMatchesKernelAccounting) {
+  const CsrMatrix a = random_square(3000, 8.0, 3);
+  const Architecture& arch = architecture_by_name("Rome");
+  const SpmvEstimate e1 = estimate_spmv(a, SpmvKernel::k1D, arch);
+  const SpmvEstimate e2 = estimate_spmv(a, SpmvKernel::k2D, arch);
+  // 2D is nonzero-balanced by construction.
+  EXPECT_NEAR(e2.imbalance, 1.0, 0.01);
+  EXPECT_GE(e1.imbalance, 1.0);
+}
+
+TEST(SpmvModel, SkewedMatrixSlowerUnder1dThan2d) {
+  // All nonzeros in the first rows: 1D gives the whole load to thread 0.
+  const index_t n = 4096;
+  CooMatrix coo(n, n);
+  std::mt19937_64 rng(8);
+  std::uniform_int_distribution<index_t> dist(0, n - 1);
+  for (index_t i = 0; i < n / 16; ++i) {
+    for (int k = 0; k < 64; ++k) coo.add(i, dist(rng), 1.0);
+  }
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const Architecture& arch = architecture_by_name("Milan B");
+  const SpmvEstimate e1 = estimate_spmv(a, SpmvKernel::k1D, arch);
+  const SpmvEstimate e2 = estimate_spmv(a, SpmvKernel::k2D, arch);
+  EXPECT_GT(e1.imbalance, 4.0);
+  EXPECT_LT(e2.seconds, e1.seconds);
+}
+
+TEST(SpmvModel, LocalityBeatsRandomPermutation) {
+  // A banded matrix has excellent x reuse; randomly permuting it destroys
+  // the locality, so the model must predict a slowdown.
+  const CsrMatrix a = grid_laplacian_2d(128, 128);
+  const CsrMatrix shuffled =
+      permute_symmetric(a, random_permutation(a.num_rows(), 17));
+  const Architecture& arch = architecture_by_name("Ice Lake");
+  const SpmvEstimate good = estimate_spmv(a, SpmvKernel::k1D, arch);
+  const SpmvEstimate bad = estimate_spmv(shuffled, SpmvKernel::k1D, arch);
+  EXPECT_LT(good.seconds, bad.seconds);
+  EXPECT_LT(good.x_dram_misses, bad.x_dram_misses);
+}
+
+TEST(SpmvModel, SharedProfileMatchesOneShot) {
+  const CsrMatrix a = random_square(500, 6.0, 5);
+  const SpmvModel model(a);
+  for (const Architecture& arch : table2_architectures()) {
+    for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+      const SpmvEstimate shared = model.estimate(kernel, arch);
+      const SpmvEstimate oneshot = estimate_spmv(a, kernel, arch);
+      EXPECT_DOUBLE_EQ(shared.seconds, oneshot.seconds)
+          << arch.name << " " << spmv_kernel_name(kernel);
+    }
+  }
+}
+
+TEST(SpmvModel, GflopsConsistentWithSeconds) {
+  const CsrMatrix a = random_square(1000, 10.0, 2);
+  const SpmvEstimate e =
+      estimate_spmv(a, SpmvKernel::k1D, architecture_by_name("Skylake"));
+  EXPECT_NEAR(e.gflops,
+              2.0 * static_cast<double>(a.num_nonzeros()) / e.seconds / 1e9,
+              1e-9);
+}
+
+TEST(ModelOptions, EnvOverrides) {
+  setenv("ORDO_CACHE_SCALE", "128", 1);
+  setenv("ORDO_SYNC_US", "2.5", 1);
+  const ModelOptions options = model_options_from_env();
+  EXPECT_DOUBLE_EQ(options.cache_scale, 128.0);
+  EXPECT_DOUBLE_EQ(options.sync_overhead_us, 2.5);
+  unsetenv("ORDO_CACHE_SCALE");
+  unsetenv("ORDO_SYNC_US");
+}
+
+}  // namespace
+}  // namespace ordo

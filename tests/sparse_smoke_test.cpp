@@ -1,0 +1,8 @@
+#include <gtest/gtest.h>
+#include "sparse/csr.hpp"
+TEST(Smoke, Builds) {
+  ordo::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  auto a = ordo::CsrMatrix::from_coo(coo);
+  EXPECT_EQ(a.num_nonzeros(), 1);
+}

@@ -1,0 +1,99 @@
+// Tests for the evaluation statistics: geometric mean, box summaries and
+// Dolan–Moré performance profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "sparse/types.hpp"
+
+namespace ordo {
+namespace {
+
+TEST(GeometricMean, KnownValues) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0}), 4.0);
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 0.5}), 1.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(GeometricMean, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(geometric_mean({}), invalid_argument_error);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), invalid_argument_error);
+  EXPECT_THROW(geometric_mean({-1.0}), invalid_argument_error);
+}
+
+TEST(BoxStats, FivePointSummary) {
+  const BoxStats stats = box_stats({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(stats.min, 1);
+  EXPECT_DOUBLE_EQ(stats.q1, 2);
+  EXPECT_DOUBLE_EQ(stats.median, 3);
+  EXPECT_DOUBLE_EQ(stats.q3, 4);
+  EXPECT_DOUBLE_EQ(stats.max, 5);
+  EXPECT_EQ(stats.count, 5u);
+}
+
+TEST(BoxStats, InterpolatesQuartiles) {
+  const BoxStats stats = box_stats({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(stats.median, 2.5);
+  EXPECT_DOUBLE_EQ(stats.q1, 1.75);
+  EXPECT_DOUBLE_EQ(stats.q3, 3.25);
+}
+
+TEST(BoxStats, SingleSample) {
+  const BoxStats stats = box_stats({7.0});
+  EXPECT_DOUBLE_EQ(stats.min, 7.0);
+  EXPECT_DOUBLE_EQ(stats.median, 7.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+}
+
+TEST(PerformanceProfiles, TwoMethodExample) {
+  // Method A: costs {1, 2}; method B: costs {2, 1}. Each is best on one
+  // instance and within 2x on both.
+  const auto curves =
+      performance_profiles({"A", "B"}, {{1.0, 2.0}, {2.0, 1.0}});
+  ASSERT_EQ(curves.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[0], 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[0], 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[1], 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[1], 1.9), 0.5);
+}
+
+TEST(PerformanceProfiles, DominantMethodReachesOneAtRatioOne) {
+  const auto curves =
+      performance_profiles({"good", "bad"}, {{1.0, 1.0, 1.0}, {3.0, 2.0, 5.0}});
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[0], 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[1], 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[1], 5.0), 1.0);
+}
+
+TEST(PerformanceProfiles, FailuresNeverAppear) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto curves =
+      performance_profiles({"flaky", "solid"}, {{1.0, inf}, {2.0, 1.0}});
+  // Flaky solves only the first instance: its curve tops out at 0.5.
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[0], 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(profile_value_at(curves[1], 2.0), 1.0);
+}
+
+TEST(PerformanceProfiles, RejectsRaggedInput) {
+  EXPECT_THROW(performance_profiles({"A", "B"}, {{1.0}, {1.0, 2.0}}),
+               invalid_argument_error);
+  EXPECT_THROW(performance_profiles({"A"}, {{1.0}, {2.0}}),
+               invalid_argument_error);
+}
+
+TEST(PerformanceProfiles, MonotoneNondecreasingCurves) {
+  const auto curves = performance_profiles(
+      {"m1", "m2", "m3"},
+      {{3.0, 1.0, 4.0, 1.5}, {2.0, 2.0, 2.0, 2.0}, {1.0, 5.0, 1.0, 9.0}});
+  for (const ProfileCurve& curve : curves) {
+    for (std::size_t i = 1; i < curve.y.size(); ++i) {
+      EXPECT_GE(curve.y[i], curve.y[i - 1]);
+      EXPECT_GE(curve.x[i], curve.x[i - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ordo
