@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_fill.dir/ablation_block_fill.cpp.o"
+  "CMakeFiles/ablation_block_fill.dir/ablation_block_fill.cpp.o.d"
+  "ablation_block_fill"
+  "ablation_block_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gp_balance.dir/ablation_gp_balance.cpp.o"
+  "CMakeFiles/ablation_gp_balance.dir/ablation_gp_balance.cpp.o.d"
+  "ablation_gp_balance"
+  "ablation_gp_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gp_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

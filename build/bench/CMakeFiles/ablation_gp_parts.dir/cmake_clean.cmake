@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gp_parts.dir/ablation_gp_parts.cpp.o"
+  "CMakeFiles/ablation_gp_parts.dir/ablation_gp_parts.cpp.o.d"
+  "ablation_gp_parts"
+  "ablation_gp_parts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gp_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

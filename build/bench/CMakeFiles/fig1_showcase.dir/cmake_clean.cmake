@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_showcase.dir/fig1_showcase.cpp.o"
+  "CMakeFiles/fig1_showcase.dir/fig1_showcase.cpp.o.d"
+  "fig1_showcase"
+  "fig1_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

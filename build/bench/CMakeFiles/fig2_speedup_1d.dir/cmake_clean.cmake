@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_speedup_1d.dir/fig2_speedup_1d.cpp.o"
+  "CMakeFiles/fig2_speedup_1d.dir/fig2_speedup_1d.cpp.o.d"
+  "fig2_speedup_1d"
+  "fig2_speedup_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_speedup_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

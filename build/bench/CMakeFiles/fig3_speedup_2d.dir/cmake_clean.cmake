@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_speedup_2d.dir/fig3_speedup_2d.cpp.o"
+  "CMakeFiles/fig3_speedup_2d.dir/fig3_speedup_2d.cpp.o.d"
+  "fig3_speedup_2d"
+  "fig3_speedup_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_speedup_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

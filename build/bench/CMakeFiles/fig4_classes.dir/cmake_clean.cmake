@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_classes.dir/fig4_classes.cpp.o"
+  "CMakeFiles/fig4_classes.dir/fig4_classes.cpp.o.d"
+  "fig4_classes"
+  "fig4_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

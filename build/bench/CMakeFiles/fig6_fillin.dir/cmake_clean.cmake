@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fillin.dir/fig6_fillin.cpp.o"
+  "CMakeFiles/fig6_fillin.dir/fig6_fillin.cpp.o.d"
+  "fig6_fillin"
+  "fig6_fillin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fillin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

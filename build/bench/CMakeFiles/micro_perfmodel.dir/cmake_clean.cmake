@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_perfmodel.dir/micro_perfmodel.cpp.o"
+  "CMakeFiles/micro_perfmodel.dir/micro_perfmodel.cpp.o.d"
+  "micro_perfmodel"
+  "micro_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reorderings.dir/micro_reorderings.cpp.o"
+  "CMakeFiles/micro_reorderings.dir/micro_reorderings.cpp.o.d"
+  "micro_reorderings"
+  "micro_reorderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reorderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spmv_kernels.dir/micro_spmv_kernels.cpp.o"
+  "CMakeFiles/micro_spmv_kernels.dir/micro_spmv_kernels.cpp.o.d"
+  "micro_spmv_kernels"
+  "micro_spmv_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spmv_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_dense_spmv.dir/ref_dense_spmv.cpp.o"
+  "CMakeFiles/ref_dense_spmv.dir/ref_dense_spmv.cpp.o.d"
+  "ref_dense_spmv"
+  "ref_dense_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_dense_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

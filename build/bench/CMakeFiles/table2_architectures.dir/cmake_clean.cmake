@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_architectures.dir/table2_architectures.cpp.o"
+  "CMakeFiles/table2_architectures.dir/table2_architectures.cpp.o.d"
+  "table2_architectures"
+  "table2_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_geomean_1d.dir/table3_geomean_1d.cpp.o"
+  "CMakeFiles/table3_geomean_1d.dir/table3_geomean_1d.cpp.o.d"
+  "table3_geomean_1d"
+  "table3_geomean_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_geomean_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_geomean_2d.dir/table4_geomean_2d.cpp.o"
+  "CMakeFiles/table4_geomean_2d.dir/table4_geomean_2d.cpp.o.d"
+  "table4_geomean_2d"
+  "table4_geomean_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_geomean_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

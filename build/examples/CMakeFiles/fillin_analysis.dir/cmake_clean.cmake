@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fillin_analysis.dir/fillin_analysis.cpp.o"
+  "CMakeFiles/fillin_analysis.dir/fillin_analysis.cpp.o.d"
+  "fillin_analysis"
+  "fillin_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fillin_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

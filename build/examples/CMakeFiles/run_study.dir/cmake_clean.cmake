@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_study.dir/run_study.cpp.o"
+  "CMakeFiles/run_study.dir/run_study.cpp.o.d"
+  "run_study"
+  "run_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cholesky/cholesky.cpp" "src/CMakeFiles/ordo.dir/cholesky/cholesky.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/cholesky/cholesky.cpp.o.d"
+  "/root/repo/src/cholesky/numeric.cpp" "src/CMakeFiles/ordo.dir/cholesky/numeric.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/cholesky/numeric.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/ordo.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/gnuplot.cpp" "src/CMakeFiles/ordo.dir/core/gnuplot.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/core/gnuplot.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/ordo.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/core/stats.cpp.o.d"
+  "/root/repo/src/corpus/corpus.cpp" "src/CMakeFiles/ordo.dir/corpus/corpus.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/corpus/corpus.cpp.o.d"
+  "/root/repo/src/corpus/generators.cpp" "src/CMakeFiles/ordo.dir/corpus/generators.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/corpus/generators.cpp.o.d"
+  "/root/repo/src/features/features.cpp" "src/CMakeFiles/ordo.dir/features/features.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/features/features.cpp.o.d"
+  "/root/repo/src/features/matrix_stats.cpp" "src/CMakeFiles/ordo.dir/features/matrix_stats.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/features/matrix_stats.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ordo.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/partition/coarsening.cpp" "src/CMakeFiles/ordo.dir/partition/coarsening.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/partition/coarsening.cpp.o.d"
+  "/root/repo/src/partition/fm_refinement.cpp" "src/CMakeFiles/ordo.dir/partition/fm_refinement.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/partition/fm_refinement.cpp.o.d"
+  "/root/repo/src/partition/graph_partitioner.cpp" "src/CMakeFiles/ordo.dir/partition/graph_partitioner.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/partition/graph_partitioner.cpp.o.d"
+  "/root/repo/src/partition/hypergraph.cpp" "src/CMakeFiles/ordo.dir/partition/hypergraph.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/partition/hypergraph.cpp.o.d"
+  "/root/repo/src/partition/hypergraph_partitioner.cpp" "src/CMakeFiles/ordo.dir/partition/hypergraph_partitioner.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/partition/hypergraph_partitioner.cpp.o.d"
+  "/root/repo/src/partition/initial_partition.cpp" "src/CMakeFiles/ordo.dir/partition/initial_partition.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/partition/initial_partition.cpp.o.d"
+  "/root/repo/src/partition/partitioning.cpp" "src/CMakeFiles/ordo.dir/partition/partitioning.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/partition/partitioning.cpp.o.d"
+  "/root/repo/src/perfmodel/arch.cpp" "src/CMakeFiles/ordo.dir/perfmodel/arch.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/perfmodel/arch.cpp.o.d"
+  "/root/repo/src/perfmodel/spmv_model.cpp" "src/CMakeFiles/ordo.dir/perfmodel/spmv_model.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/perfmodel/spmv_model.cpp.o.d"
+  "/root/repo/src/perfmodel/stack_distance.cpp" "src/CMakeFiles/ordo.dir/perfmodel/stack_distance.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/perfmodel/stack_distance.cpp.o.d"
+  "/root/repo/src/reorder/amd.cpp" "src/CMakeFiles/ordo.dir/reorder/amd.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/amd.cpp.o.d"
+  "/root/repo/src/reorder/extras.cpp" "src/CMakeFiles/ordo.dir/reorder/extras.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/extras.cpp.o.d"
+  "/root/repo/src/reorder/gp.cpp" "src/CMakeFiles/ordo.dir/reorder/gp.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/gp.cpp.o.d"
+  "/root/repo/src/reorder/gray.cpp" "src/CMakeFiles/ordo.dir/reorder/gray.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/gray.cpp.o.d"
+  "/root/repo/src/reorder/hp.cpp" "src/CMakeFiles/ordo.dir/reorder/hp.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/hp.cpp.o.d"
+  "/root/repo/src/reorder/nd.cpp" "src/CMakeFiles/ordo.dir/reorder/nd.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/nd.cpp.o.d"
+  "/root/repo/src/reorder/rcm.cpp" "src/CMakeFiles/ordo.dir/reorder/rcm.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/rcm.cpp.o.d"
+  "/root/repo/src/reorder/reordering.cpp" "src/CMakeFiles/ordo.dir/reorder/reordering.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/reordering.cpp.o.d"
+  "/root/repo/src/reorder/sbd.cpp" "src/CMakeFiles/ordo.dir/reorder/sbd.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/reorder/sbd.cpp.o.d"
+  "/root/repo/src/sparse/bsr.cpp" "src/CMakeFiles/ordo.dir/sparse/bsr.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/sparse/bsr.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/ordo.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/ordo.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/csr_ops.cpp" "src/CMakeFiles/ordo.dir/sparse/csr_ops.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/sparse/csr_ops.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/CMakeFiles/ordo.dir/sparse/matrix_market.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/sparse/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/permutation.cpp" "src/CMakeFiles/ordo.dir/sparse/permutation.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/sparse/permutation.cpp.o.d"
+  "/root/repo/src/spmv/kernels_extra.cpp" "src/CMakeFiles/ordo.dir/spmv/kernels_extra.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/spmv/kernels_extra.cpp.o.d"
+  "/root/repo/src/spmv/spmv.cpp" "src/CMakeFiles/ordo.dir/spmv/spmv.cpp.o" "gcc" "src/CMakeFiles/ordo.dir/spmv/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

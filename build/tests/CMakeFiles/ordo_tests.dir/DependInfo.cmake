@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bsr_test.cpp" "tests/CMakeFiles/ordo_tests.dir/bsr_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/bsr_test.cpp.o.d"
+  "/root/repo/tests/cholesky_test.cpp" "tests/CMakeFiles/ordo_tests.dir/cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/cholesky_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/ordo_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/experiment_test.cpp" "tests/CMakeFiles/ordo_tests.dir/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/experiment_test.cpp.o.d"
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/ordo_tests.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/features_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/ordo_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/kernels_extra_test.cpp" "tests/CMakeFiles/ordo_tests.dir/kernels_extra_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/kernels_extra_test.cpp.o.d"
+  "/root/repo/tests/matrix_market_test.cpp" "tests/CMakeFiles/ordo_tests.dir/matrix_market_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/matrix_market_test.cpp.o.d"
+  "/root/repo/tests/matrix_stats_test.cpp" "tests/CMakeFiles/ordo_tests.dir/matrix_stats_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/matrix_stats_test.cpp.o.d"
+  "/root/repo/tests/numeric_cholesky_test.cpp" "tests/CMakeFiles/ordo_tests.dir/numeric_cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/numeric_cholesky_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/ordo_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/perfmodel_test.cpp" "tests/CMakeFiles/ordo_tests.dir/perfmodel_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/perfmodel_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/ordo_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/reorder_test.cpp" "tests/CMakeFiles/ordo_tests.dir/reorder_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/reorder_test.cpp.o.d"
+  "/root/repo/tests/sparse_smoke_test.cpp" "tests/CMakeFiles/ordo_tests.dir/sparse_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/sparse_smoke_test.cpp.o.d"
+  "/root/repo/tests/sparse_test.cpp" "tests/CMakeFiles/ordo_tests.dir/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/sparse_test.cpp.o.d"
+  "/root/repo/tests/spmv_test.cpp" "tests/CMakeFiles/ordo_tests.dir/spmv_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/spmv_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/ordo_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ordo_tests.dir/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ordo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
