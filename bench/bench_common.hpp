@@ -10,6 +10,11 @@
 //   ORDO_SYNC_US       modelled parallel-region overhead (default 0.5)
 //   ORDO_RESULTS_DIR   sweep cache directory (default ./ordo_results)
 //   ORDO_VERBOSE       set to 1 for per-matrix progress on stderr
+//                      (legacy alias of ORDO_LOG=progress)
+//   ORDO_LOG           quiet|progress|debug structured logging (obs/log.hpp)
+//   ORDO_TRACE         path: write a Chrome trace_event JSON at exit
+//   ORDO_METRICS       metrics JSON path (default ordo_metrics.json)
+//   ORDO_PROFILE       set to 1 for observed per-thread kernel profiles
 #pragma once
 
 #include <cstdio>
@@ -18,8 +23,24 @@
 
 #include "core/experiment.hpp"
 #include "core/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace ordo::bench {
+
+/// Configures ordo::obs from the environment once per process and registers
+/// the exit-time flush, so every harness writes ordo_metrics.json (and the
+/// ORDO_TRACE file when requested) alongside its stdout output.
+inline void init_observability() {
+  static const bool initialized = [] {
+    obs::init_from_env();
+    if (obs::metrics_output_path().empty()) {
+      obs::set_metrics_output_path("ordo_metrics.json");
+    }
+    std::atexit([] { obs::finalize(); });
+    return true;
+  }();
+  (void)initialized;
+}
 
 inline StudyOptions study_options_from_env() {
   StudyOptions options;
@@ -30,6 +51,7 @@ inline StudyOptions study_options_from_env() {
 
 /// Loads (or computes and caches) the full study shared by all benches.
 inline StudyResults shared_study() {
+  init_observability();
   const CorpusOptions corpus = corpus_options_from_env();
   std::fprintf(stderr,
                "ordo: using corpus of %d matrices (scale %.2f); cache dir %s\n",

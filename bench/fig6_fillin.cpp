@@ -14,6 +14,7 @@
 using namespace ordo;
 
 int main() {
+  bench::init_observability();
   CorpusOptions corpus_options = corpus_options_from_env();
   const std::vector<CorpusEntry> corpus = generate_corpus(corpus_options);
 

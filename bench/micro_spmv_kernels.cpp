@@ -1,11 +1,13 @@
 // google-benchmark microbenchmarks for the real (OpenMP) SpMV kernels on the
 // host machine: serial vs 1D vs 2D across matrix families, plus the
-// 2D-partition preprocessing cost that Section 3.1 argues is amortisable.
+// 2D-partition preprocessing cost that Section 3.1 argues is amortisable and
+// the cost of the ordo::obs instrumentation around (never inside) a kernel.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "corpus/generators.hpp"
+#include "obs/obs.hpp"
 #include "spmv/spmv.hpp"
 
 namespace {
@@ -57,5 +59,41 @@ void BM_Partition2dPreprocessing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Partition2dPreprocessing)->Arg(16)->Arg(128);
+
+// The acceptance bar for ordo::obs: a 1D launch with tracing compiled in but
+// disabled (the default) must match plain BM_Spmv1dMesh within noise — the
+// disabled ORDO_SCOPE is one relaxed atomic load per launch.
+void BM_Spmv1dMeshScopeDisabled(benchmark::State& state) {
+  const CsrMatrix& a = mesh();
+  std::vector<value_t> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<value_t> y(static_cast<std::size_t>(a.num_rows()));
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ORDO_SCOPE("bench/spmv_1d");
+    spmv_1d(a, x, y, threads);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+BENCHMARK(BM_Spmv1dMeshScopeDisabled)->Arg(1)->Arg(4);
+
+// Same launch with tracing *on*, for an honest upper bound on span cost at
+// phase granularity (buffer cleared each iteration to bound memory).
+void BM_Spmv1dMeshScopeEnabled(benchmark::State& state) {
+  const CsrMatrix& a = mesh();
+  std::vector<value_t> x(static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<value_t> y(static_cast<std::size_t>(a.num_rows()));
+  const int threads = static_cast<int>(state.range(0));
+  obs::set_tracing_enabled(true);
+  for (auto _ : state) {
+    ORDO_SCOPE("bench/spmv_1d");
+    spmv_1d(a, x, y, threads);
+    benchmark::DoNotOptimize(y.data());
+  }
+  obs::set_tracing_enabled(false);
+  obs::clear_trace();
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+BENCHMARK(BM_Spmv1dMeshScopeEnabled)->Arg(1)->Arg(4);
 
 }  // namespace

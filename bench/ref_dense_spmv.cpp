@@ -4,7 +4,6 @@
 // land at a large fraction of the machine's bandwidth, since the x vector
 // fits in cache and the matrix streams from DRAM. A real (OpenMP) kernel run
 // on the host machine is printed alongside for reference.
-#include <chrono>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -14,6 +13,7 @@
 using namespace ordo;
 
 int main() {
+  bench::init_observability();
   const double scale = corpus_options_from_env().scale;
   const index_t rows = static_cast<index_t>(24000 * scale);
   const index_t cols = 1000;
@@ -35,13 +35,8 @@ int main() {
   // Real kernel on this host (whatever it is), for a wall-clock sanity point.
   std::vector<value_t> x(static_cast<std::size_t>(cols), 1.0);
   std::vector<value_t> y(static_cast<std::size_t>(rows));
-  const int reps = 20;
-  spmv_1d(a, x, y, 1);  // warm up
-  const auto start = std::chrono::steady_clock::now();
-  for (int r = 0; r < reps; ++r) spmv_1d(a, x, y, 1);
-  const auto stop = std::chrono::steady_clock::now();
-  const double seconds =
-      std::chrono::duration<double>(stop - start).count() / reps;
+  const double seconds = obs::median_seconds_of_reps(
+      20, [&] { spmv_1d(a, x, y, 1); });
   std::printf("\nhost (real, 1 thread): %.2f Gflop/s, %.2f GB/s\n",
               2.0 * static_cast<double>(a.num_nonzeros()) / seconds / 1e9,
               static_cast<double>(a.storage_bytes()) / seconds / 1e9);

@@ -7,13 +7,12 @@
 // typically the slowest, with reordering time spanning several orders of
 // magnitude relative to one SpMV iteration. (Absolute times differ — these
 // are scaled-down stand-ins and our own serial implementations.)
-#include <chrono>
-
 #include "bench_common.hpp"
 
 using namespace ordo;
 
 int main() {
+  bench::init_observability();
   const double scale = corpus_options_from_env().scale;
   const ModelOptions model = model_options_from_env();
   const Architecture& icelake = architecture_by_name("Ice Lake");
@@ -37,13 +36,10 @@ int main() {
     ReorderOptions reorder;
     reorder.gp_parts = icelake.cores;
     for (OrderingKind kind : table1_orderings()) {
-      const auto start = std::chrono::steady_clock::now();
+      obs::Stopwatch watch;
       const Ordering ordering = compute_ordering(entry.matrix, kind, reorder);
-      const auto stop = std::chrono::steady_clock::now();
       (void)ordering;
-      std::printf(" %8.1f",
-                  std::chrono::duration<double, std::milli>(stop - start)
-                      .count());
+      std::printf(" %8.1f", watch.millis());
     }
     const SpmvEstimate spmv =
         estimate_spmv(entry.matrix, SpmvKernel::k1D, icelake, model);

@@ -4,15 +4,21 @@
 // bench, exposed as a standalone tool.
 //
 //   ./run_study [--count N] [--scale S] [--out DIR] [--seed K] [--verbose]
+//              [--log quiet|progress|debug]
+//
+// Observability: ORDO_TRACE/ORDO_LOG/ORDO_METRICS/ORDO_PROFILE are honoured
+// (see src/obs/obs.hpp); the trace and metrics files are written on exit.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 
 using namespace ordo;
 
 int main(int argc, char** argv) {
+  obs::init_from_env();
   CorpusOptions corpus = corpus_options_from_env();
   StudyOptions study;
   study.model = model_options_from_env();
@@ -34,10 +40,12 @@ int main(int argc, char** argv) {
       corpus.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--verbose") {
       study.verbose = true;
+    } else if (arg == "--log") {
+      obs::set_log_level(obs::parse_log_level(next()));
     } else if (arg == "--help") {
       std::printf(
           "usage: %s [--count N] [--scale S] [--out DIR] [--seed K] "
-          "[--verbose]\n",
+          "[--verbose] [--log quiet|progress|debug]\n",
           argv[0]);
       return 0;
     } else {
@@ -56,5 +64,6 @@ int main(int argc, char** argv) {
     std::printf("  %-10s %s: %zu matrices\n", key.first.c_str(),
                 spmv_kernel_name(key.second).c_str(), rows.size());
   }
+  obs::finalize();
   return 0;
 }

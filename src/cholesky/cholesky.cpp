@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "sparse/csr_ops.hpp"
 
 namespace ordo {
@@ -170,17 +171,22 @@ std::vector<index_t> cholesky_column_counts(const CsrMatrix& a_in) {
 }
 
 std::int64_t cholesky_factor_nonzeros(const CsrMatrix& a) {
+  ORDO_SCOPE("cholesky/count_factor_nnz");
   const std::vector<index_t> counts = cholesky_column_counts(a);
   std::int64_t total = 0;
   for (index_t c : counts) total += c;
+  ORDO_COUNTER_ADD("cholesky.analyses", 1);
+  ORDO_HISTOGRAM_RECORD("cholesky.factor_nnz", static_cast<double>(total));
   return total;
 }
 
 double cholesky_fill_ratio(const CsrMatrix& a_in) {
   const CsrMatrix a = ensure_symmetric(a_in);
   require(a.num_nonzeros() > 0, "cholesky_fill_ratio: empty matrix");
-  return static_cast<double>(cholesky_factor_nonzeros(a)) /
-         static_cast<double>(a.num_nonzeros());
+  const double ratio = static_cast<double>(cholesky_factor_nonzeros(a)) /
+                       static_cast<double>(a.num_nonzeros());
+  ORDO_HISTOGRAM_RECORD("cholesky.fill_ratio", ratio);
+  return ratio;
 }
 
 std::vector<index_t> symbolic_cholesky_reference(const CsrMatrix& a_in) {

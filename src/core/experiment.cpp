@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "features/features.hpp"
+#include "obs/obs.hpp"
 
 #include <cctype>
 #include <cstdio>
@@ -50,6 +51,14 @@ std::vector<double> reordering_speedups(const MeasurementRow& row) {
 
 StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
                             const StudyOptions& options) {
+  ORDO_SCOPE("study/run");
+  // Legacy knob: --verbose is equivalent to ORDO_LOG=progress (it never
+  // lowers a level already raised through the environment).
+  if (options.verbose && !obs::log_enabled(obs::LogLevel::kProgress)) {
+    obs::set_log_level(obs::LogLevel::kProgress);
+  }
+  ORDO_COUNTER_ADD("study.runs", 1);
+
   const auto& machines = table2_architectures();
   const auto kinds = study_orderings();
 
@@ -61,12 +70,12 @@ StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
 
   for (std::size_t mi = 0; mi < corpus.size(); ++mi) {
     const CorpusEntry& entry = corpus[mi];
-    if (options.verbose) {
-      std::fprintf(stderr, "[%zu/%zu] %s (n=%d, nnz=%lld)\n", mi + 1,
-                   corpus.size(), entry.name.c_str(),
-                   static_cast<int>(entry.matrix.num_rows()),
-                   static_cast<long long>(entry.matrix.num_nonzeros()));
-    }
+    obs::Span matrix_span("study/matrix/" + entry.name);
+    ORDO_COUNTER_ADD("study.matrices", 1);
+    obs::logf(obs::LogLevel::kProgress, "[%zu/%zu] %s (n=%d, nnz=%lld)",
+              mi + 1, corpus.size(), entry.name.c_str(),
+              static_cast<int>(entry.matrix.num_rows()),
+              static_cast<long long>(entry.matrix.num_nonzeros()));
 
     // Arch-independent orderings, computed once. The GP ordering matches the
     // part count to the machine's cores (Section 3.3), so it is computed per
@@ -74,31 +83,43 @@ StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
     std::map<OrderingKind, CsrMatrix> reordered;
     for (OrderingKind kind : kinds) {
       if (kind == OrderingKind::kGp) continue;
+      obs::Stopwatch watch;
       reordered.emplace(
           kind,
           apply_ordering(entry.matrix,
                          compute_ordering(entry.matrix, kind, options.reorder)));
+      obs::logf(obs::LogLevel::kDebug, "  %s reorder+apply: %.2f ms",
+                ordering_name(kind).c_str(), watch.millis());
     }
     std::map<int, CsrMatrix> gp_by_cores;
     for (const Architecture& arch : machines) {
       if (gp_by_cores.count(arch.cores)) continue;
       ReorderOptions gp_options = options.reorder;
       gp_options.gp_parts = arch.cores;
+      obs::Stopwatch watch;
       gp_by_cores.emplace(
           arch.cores,
           apply_ordering(
               entry.matrix,
               compute_ordering(entry.matrix, OrderingKind::kGp, gp_options)));
+      obs::logf(obs::LogLevel::kDebug, "  GP(%d parts) reorder+apply: %.2f ms",
+                arch.cores, watch.millis());
     }
 
     // One reuse profile per reordered matrix, shared across machines.
     std::map<OrderingKind, SpmvModel> models;
-    for (const auto& [kind, matrix] : reordered) {
-      models.emplace(kind, SpmvModel(matrix, options.model));
+    {
+      ORDO_SCOPE("study/reuse_profiles");
+      for (const auto& [kind, matrix] : reordered) {
+        models.emplace(kind, SpmvModel(matrix, options.model));
+      }
     }
     std::map<int, SpmvModel> gp_models;
-    for (const auto& [cores, matrix] : gp_by_cores) {
-      gp_models.emplace(cores, SpmvModel(matrix, options.model));
+    {
+      ORDO_SCOPE("study/reuse_profiles_gp");
+      for (const auto& [cores, matrix] : gp_by_cores) {
+        gp_models.emplace(cores, SpmvModel(matrix, options.model));
+      }
     }
 
     // Order-sensitive features: bandwidth and profile are machine-
@@ -127,6 +148,8 @@ StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
 
     for (const Architecture& arch : machines) {
       for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+        obs::Span eval_span("model/" + arch.name + "/" +
+                            spmv_kernel_name(kernel));
         MeasurementRow row;
         row.group = entry.group;
         row.name = entry.name;
@@ -147,6 +170,18 @@ StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
           m.profile = bp.second;
           m.off_diagonal_nnz =
               offdiag.at({static_cast<int>(k), arch.cores});
+#if defined(ORDO_OBS_ENABLED)
+          // Modeled per-ordering kernel time and per-thread work, aggregated
+          // over matrices/machines — the per-ordering slice of
+          // ordo_metrics.json.
+          const std::string prefix = "study." + ordering_name(kind);
+          obs::histogram(prefix + ".seconds").record(m.seconds);
+          obs::histogram(prefix + ".imbalance").record(m.imbalance);
+          obs::histogram(prefix + ".max_thread_nnz")
+              .record(static_cast<double>(m.max_thread_nnz));
+          obs::histogram(prefix + ".min_thread_nnz")
+              .record(static_cast<double>(m.min_thread_nnz));
+#endif
           row.orderings.push_back(m);
         }
         results[{arch.name, kernel}].push_back(std::move(row));
@@ -239,6 +274,10 @@ StudyResults load_or_run_study(const std::string& dir,
 
   StudyResults results;
   if (all_cached) {
+    ORDO_SCOPE("study/load_cache");
+    ORDO_COUNTER_ADD("study.cache_hits", 1);
+    obs::logf(obs::LogLevel::kProgress, "loading cached study from %s",
+              dir.c_str());
     for (const Architecture& arch : machines) {
       for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
         results[{arch.name, kernel}] = read_results_file(
@@ -250,8 +289,10 @@ StudyResults load_or_run_study(const std::string& dir,
     return results;
   }
 
+  ORDO_COUNTER_ADD("study.cache_misses", 1);
   const std::vector<CorpusEntry> corpus = generate_corpus(corpus_options);
   results = run_full_study(corpus, options);
+  ORDO_SCOPE("study/write_cache");
   fs::create_directories(dir);
   for (const Architecture& arch : machines) {
     for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
@@ -262,6 +303,7 @@ StudyResults load_or_run_study(const std::string& dir,
           results.at({arch.name, kernel}));
     }
   }
+  obs::logf(obs::LogLevel::kProgress, "wrote study cache to %s", dir.c_str());
   return results;
 }
 

@@ -52,7 +52,10 @@ std::vector<double> reordering_speedups(const MeasurementRow& row);
 struct StudyOptions {
   ModelOptions model;
   ReorderOptions reorder;  ///< gp_parts is overridden per machine core count
-  bool verbose = false;    ///< progress lines on stderr
+  /// Legacy progress flag: raises the obs logging sink to at least
+  /// `progress` for the run (equivalent to ORDO_LOG=progress; see
+  /// obs/log.hpp for the structured levels).
+  bool verbose = false;
 };
 
 /// Results of the full sweep: rows[(machine name, kernel)] -> per-matrix rows.

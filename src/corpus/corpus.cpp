@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <random>
 
+#include "obs/obs.hpp"
 #include "sparse/csr_ops.hpp"
 #include "sparse/permutation.hpp"
 
@@ -90,6 +91,11 @@ CorpusOptions corpus_options_from_env() {
 }
 
 std::vector<CorpusEntry> generate_corpus(const CorpusOptions& options) {
+  ORDO_SCOPE("corpus/generate");
+  ORDO_COUNTER_ADD("corpus.generations", 1);
+  obs::logf(obs::LogLevel::kProgress,
+            "generating corpus: %d matrices (scale %.2f)", options.count,
+            options.scale);
   std::vector<CorpusEntry> corpus;
   corpus.reserve(static_cast<std::size_t>(options.count));
   std::mt19937_64 rng(options.seed);

@@ -1,0 +1,69 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+#include "sparse/types.hpp"
+
+namespace ordo::obs {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kQuiet)};
+
+std::mutex& log_mutex() {
+  static std::mutex* m = new std::mutex;  // leaked: logf runs from atexit
+  return *m;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "quiet" || lower == "0") return LogLevel::kQuiet;
+  if (lower == "progress" || lower == "1") return LogLevel::kProgress;
+  if (lower == "debug" || lower == "2") return LogLevel::kDebug;
+  throw invalid_argument_error(
+      "parse_log_level: expected quiet|progress|debug, got '" + name + "'");
+}
+
+std::string log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kQuiet: return "quiet";
+    case LogLevel::kProgress: return "progress";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kQuiet;
+}
+
+void logf(LogLevel level, const char* format, ...) {
+  if (!log_enabled(level)) return;
+  std::va_list args;
+  va_start(args, format);
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, level == LogLevel::kDebug ? "ordo[debug]: " : "ordo: ");
+  std::vfprintf(stderr, format, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace ordo::obs

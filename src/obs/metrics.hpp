@@ -1,0 +1,115 @@
+// Process-wide metrics registry (the counters/gauges/histograms half of
+// ordo::obs).
+//
+// Three instrument kinds, all addressed by hierarchical dotted names:
+//  * Counter   — monotonically increasing int64 (model evaluations, FM
+//                passes, coarsening levels);
+//  * Gauge     — last-written double (observed imbalance of the most recent
+//                kernel launch);
+//  * Histogram — count/sum/min/max summary of recorded doubles (reordering
+//                wall time per algorithm, per-thread nnz and seconds).
+//
+// Instruments live for the whole process once created; lookups take the
+// registry mutex, so hot sites should cache the returned reference (phase
+// granularity makes the lookup cost irrelevant in practice). Counter adds
+// and gauge stores are lock-free atomics; histogram records take a
+// per-histogram mutex.
+//
+// Dumps: a human-oriented text table and a machine-readable JSON document
+// (what the benches write to ordo_metrics.json).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ordo::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  };
+
+  void record(double value);
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot state_;
+};
+
+/// Finds or creates the named instrument. A name is bound to one kind for
+/// the process lifetime; re-requesting it as another kind throws.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// True when `name` exists as any instrument kind.
+bool has_metric(const std::string& name);
+
+/// All registered names, sorted.
+std::vector<std::string> metric_names();
+
+/// Zeroes every instrument (counters to 0, gauges to 0, histograms empty)
+/// without invalidating references. For tests and repeated harness runs.
+void reset_metrics();
+
+/// Human-readable dump, one instrument per line.
+void write_metrics_text(std::ostream& out);
+
+/// JSON document {"counters":{...},"gauges":{...},"histograms":{...}}.
+void write_metrics_json(std::ostream& out);
+void write_metrics_json_file(const std::string& path);
+
+}  // namespace ordo::obs
+
+// Compile-out-able recording macros for instrumentation sites inside the
+// library. Each caches the instrument lookup after the first hit at that
+// site (the name must be constant at the site for the cache to be valid).
+#if defined(ORDO_OBS_ENABLED)
+#define ORDO_COUNTER_ADD(name, delta)                    \
+  do {                                                   \
+    static ::ordo::obs::Counter& ordo_obs_counter_ =     \
+        ::ordo::obs::counter(name);                      \
+    ordo_obs_counter_.add(delta);                        \
+  } while (0)
+#define ORDO_GAUGE_SET(name, value) ::ordo::obs::gauge(name).set(value)
+#define ORDO_HISTOGRAM_RECORD(name, value) \
+  ::ordo::obs::histogram(name).record(value)
+#else
+#define ORDO_COUNTER_ADD(name, delta) ((void)0)
+#define ORDO_GAUGE_SET(name, value) ((void)0)
+#define ORDO_HISTOGRAM_RECORD(name, value) ((void)0)
+#endif

@@ -1,0 +1,96 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+
+namespace ordo::obs {
+namespace {
+
+std::mutex g_config_mutex;
+std::string g_trace_path;
+std::string g_metrics_path;
+std::atomic<bool> g_profiling{false};
+
+}  // namespace
+
+void init_from_env() {
+  if (const char* trace = std::getenv("ORDO_TRACE")) {
+    if (*trace != '\0') {
+      set_trace_output_path(trace);
+      set_tracing_enabled(true);
+    }
+  }
+  if (const char* level = std::getenv("ORDO_LOG")) {
+    if (*level != '\0') set_log_level(parse_log_level(level));
+  }
+  if (const char* metrics = std::getenv("ORDO_METRICS")) {
+    if (*metrics != '\0') set_metrics_output_path(metrics);
+  }
+  if (const char* profile = std::getenv("ORDO_PROFILE")) {
+    set_profiling_enabled(std::strcmp(profile, "0") != 0);
+  }
+}
+
+std::string trace_output_path() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  return g_trace_path;
+}
+
+void set_trace_output_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  g_trace_path = path;
+}
+
+std::string metrics_output_path() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  return g_metrics_path;
+}
+
+void set_metrics_output_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  g_metrics_path = path;
+}
+
+bool profiling_enabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+void set_profiling_enabled(bool enabled) {
+  g_profiling.store(enabled, std::memory_order_relaxed);
+}
+
+void finalize() {
+  std::string trace_path;
+  std::string metrics_path;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    trace_path = g_trace_path;
+    metrics_path = g_metrics_path;
+  }
+  // finalize() typically runs from std::atexit, where an escaping exception
+  // is a guaranteed std::terminate — report a failed write instead of
+  // aborting after the run's work is already done, and never let a trace
+  // failure swallow the metrics dump (or vice versa).
+  if (!trace_path.empty() && tracing_enabled()) {
+    try {
+      write_chrome_trace_file(trace_path);
+      logf(LogLevel::kProgress, "wrote trace to %s", trace_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ordo: trace export failed: %s\n", e.what());
+    }
+  }
+  if (!metrics_path.empty()) {
+    try {
+      write_metrics_json_file(metrics_path);
+      logf(LogLevel::kProgress, "wrote metrics to %s", metrics_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ordo: metrics export failed: %s\n", e.what());
+    }
+  }
+}
+
+}  // namespace ordo::obs

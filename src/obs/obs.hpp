@@ -1,0 +1,52 @@
+// ordo::obs — observability for the study pipeline: scoped-timer tracing,
+// a metrics registry and a structured logging sink, configured from the
+// environment and flushed once at the end of a run.
+//
+// Environment knobs (read by init_from_env):
+//   ORDO_TRACE=path    enable span tracing; write Chrome trace_event JSON to
+//                      `path` at finalize() (view in chrome://tracing)
+//   ORDO_LOG=level     quiet|progress|debug structured logging on stderr
+//   ORDO_METRICS=path  write the metrics registry as JSON to `path` at
+//                      finalize() (benches default this to ordo_metrics.json)
+//   ORDO_PROFILE=1     per-thread profiling in the real SpMV kernels: each
+//                      launch records observed per-thread seconds/nnz and
+//                      imbalance into the registry
+//
+// Design constraints (see DESIGN.md "Observability"):
+//  * zero overhead in kernel inner loops — instrumentation sits at phase
+//    granularity only, and kernels take one branch per *launch*;
+//  * compiled out entirely with -DORDO_OBS=OFF (the macros become no-ops);
+//  * when compiled in but not enabled, a span costs one relaxed atomic load.
+#pragma once
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
+
+namespace ordo::obs {
+
+/// Reads ORDO_TRACE / ORDO_LOG / ORDO_METRICS / ORDO_PROFILE and applies
+/// them (idempotent; later calls re-read the environment).
+void init_from_env();
+
+/// Output path for the Chrome trace, empty when tracing is not being
+/// exported.
+std::string trace_output_path();
+void set_trace_output_path(const std::string& path);
+
+/// Output path for the metrics JSON dump, empty for none.
+std::string metrics_output_path();
+void set_metrics_output_path(const std::string& path);
+
+/// True when the real SpMV kernels should record observed per-thread
+/// work/time (one branch per kernel launch).
+bool profiling_enabled();
+void set_profiling_enabled(bool enabled);
+
+/// Writes the configured trace and metrics outputs (no-op for unset paths).
+/// Benches register this via std::atexit; long-lived embedders may call it
+/// repeatedly.
+void finalize();
+
+}  // namespace ordo::obs

@@ -1,0 +1,59 @@
+// Wall-clock timing helpers shared by the benches and the instrumentation
+// layer: a steady-clock Stopwatch and the median-of-reps idiom every harness
+// previously reimplemented with raw std::chrono calls.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace ordo::obs {
+
+/// Monotonic wall-clock stopwatch, running from construction (or the last
+/// reset()).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  std::int64_t micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Microseconds since the first call in this process — the common time base
+/// for trace spans across threads.
+std::int64_t trace_now_us();
+
+/// Runs `fn` `reps` times and returns the median wall-clock seconds of one
+/// run. One warm-up call is made first (not measured), matching how the
+/// paper's harness reports warm medians.
+template <typename Fn>
+double median_seconds_of_reps(int reps, Fn&& fn) {
+  if (reps < 1) reps = 1;
+  fn();  // warm up
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.seconds());
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace ordo::obs

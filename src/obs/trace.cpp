@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "obs/stopwatch.hpp"
+#include "sparse/types.hpp"
+
+namespace ordo::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+// Per-thread span buffer. Owned by the thread (appends are unsynchronised);
+// the global registry below keeps a pointer for snapshot collection. Buffers
+// deliberately leak at thread exit so spans from joined threads survive
+// until export — the process-lifetime cost is bounded by span volume, which
+// is phase-granular.
+struct ThreadBuffer {
+  std::vector<SpanEvent> events;
+  int depth = 0;
+  int thread_id = 0;
+};
+
+// Both leaked deliberately: finalize() runs from std::atexit handlers that
+// may outlive ordinarily-destroyed function statics.
+std::mutex& registry_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::vector<ThreadBuffer*>& registry() {
+  static std::vector<ThreadBuffer*>* buffers = new std::vector<ThreadBuffer*>;
+  return *buffers;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer;
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    b->thread_id = static_cast<int>(registry().size());
+    registry().push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void json_escape(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t trace_now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                               anchor)
+      .count();
+}
+
+bool tracing_enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled) {
+  if (enabled) trace_now_us();  // pin the time anchor before the first span
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (ThreadBuffer* buffer : registry()) {
+    buffer->events.clear();
+  }
+}
+
+std::vector<SpanEvent> collect_trace() {
+  std::vector<SpanEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const ThreadBuffer* buffer : registry()) {
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.depth < b.depth;
+            });
+  return all;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  const std::vector<SpanEvent> events = collect_trace();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"";
+    json_escape(out, e.name);
+    out << "\",\"cat\":\"ordo\",\"ph\":\"X\",\"ts\":" << e.start_us
+        << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":" << e.thread_id
+        << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  out << "]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "write_chrome_trace_file: cannot open " + path);
+  write_chrome_trace(out);
+}
+
+Span::Span(const char* name) {
+  if (tracing_enabled()) open(name);
+}
+
+Span::Span(std::string name) {
+  if (tracing_enabled()) open(std::move(name));
+}
+
+void Span::open(std::string name) {
+  active_ = true;
+  name_ = std::move(name);
+  depth_ = local_buffer().depth++;
+  start_us_ = trace_now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::int64_t end_us = trace_now_us();
+  ThreadBuffer& buffer = local_buffer();
+  buffer.depth--;
+  SpanEvent event;
+  event.name = std::move(name_);
+  event.start_us = start_us_;
+  event.duration_us = end_us - start_us_;
+  event.thread_id = buffer.thread_id;
+  event.depth = depth_;
+  buffer.events.push_back(std::move(event));
+}
+
+}  // namespace ordo::obs

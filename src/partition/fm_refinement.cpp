@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.hpp"
 #include "partition/partitioning.hpp"
 
 namespace ordo {
@@ -145,11 +146,15 @@ std::int64_t fm_refine_bisection(const Graph& g, std::vector<index_t>& part,
   require(part.size() == static_cast<std::size_t>(g.num_vertices()),
           "fm_refine_bisection: partition size mismatch");
   std::int64_t total = 0;
+  int passes = 0;
   for (int pass = 0; pass < max_passes; ++pass) {
     const std::int64_t improvement = fm_pass(g, part, balance);
     total += improvement;
+    ++passes;
     if (improvement <= 0) break;
   }
+  ORDO_COUNTER_ADD("partition.fm.passes", passes);
+  ORDO_COUNTER_ADD("partition.fm.cut_improvement", total);
   return total;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/obs.hpp"
 #include "partition/coarsening.hpp"
 #include "partition/fm_refinement.hpp"
 #include "partition/initial_partition.hpp"
@@ -126,6 +127,9 @@ PartitionResult bisect_graph(const Graph& g, double target_fraction,
     hierarchy.push_back(std::move(level));
     current = &hierarchy.back().graph;
   }
+  ORDO_COUNTER_ADD("partition.gp.bisections", 1);
+  ORDO_COUNTER_ADD("partition.gp.coarsen_levels",
+                   static_cast<std::int64_t>(hierarchy.size()));
 
   // Initial bisection on the coarsest graph, refined in place.
   std::vector<index_t> part =
@@ -166,6 +170,7 @@ PartitionResult bisect_graph(const Graph& g, double target_fraction,
 PartitionResult partition_graph(const Graph& g,
                                 const PartitionOptions& options) {
   require(options.num_parts >= 1, "partition_graph: num_parts must be >= 1");
+  ORDO_SCOPE("partition/graph_kway");
   PartitionResult result;
   result.part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
   result.num_parts = options.num_parts;

@@ -8,6 +8,8 @@
 #include <queue>
 #include <random>
 
+#include "obs/obs.hpp"
+
 namespace ordo {
 namespace {
 
@@ -425,6 +427,9 @@ PartitionResult bisect_hypergraph(const Hypergraph& h, double target_fraction,
     hierarchy.push_back(std::move(level));
     current = &hierarchy.back().hypergraph;
   }
+  ORDO_COUNTER_ADD("partition.hp.bisections", 1);
+  ORDO_COUNTER_ADD("partition.hp.coarsen_levels",
+                   static_cast<std::int64_t>(hierarchy.size()));
 
   const std::int64_t target_weight = static_cast<std::int64_t>(
       static_cast<double>(current->total_vertex_weight()) * target_fraction +
@@ -479,6 +484,7 @@ PartitionResult partition_hypergraph(const Hypergraph& h,
                                      const PartitionOptions& options) {
   require(options.num_parts >= 1,
           "partition_hypergraph: num_parts must be >= 1");
+  ORDO_SCOPE("partition/hypergraph_kway");
   PartitionResult result;
   result.part.assign(static_cast<std::size_t>(h.num_vertices()), 0);
   result.num_parts = options.num_parts;

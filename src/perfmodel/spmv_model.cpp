@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spmv/spmv.hpp"
 
 namespace ordo {
@@ -36,6 +38,8 @@ ModelOptions model_options_from_env() {
 
 SpmvModel::SpmvModel(const CsrMatrix& a, const ModelOptions& options)
     : a_(a), options_(options) {
+  ORDO_SCOPE("model/reuse_profile");
+  ORDO_COUNTER_ADD("model.reuse_profiles", 1);
   // x-access stream at cache-line granularity, in matrix (row-major) order.
   const auto col_idx = a.col_idx();
   std::vector<index_t> lines(col_idx.size());
@@ -55,6 +59,7 @@ SpmvModel::SpmvModel(const CsrMatrix& a, const ModelOptions& options)
 
 SpmvEstimate SpmvModel::estimate(SpmvKernel kernel,
                                  const Architecture& arch) const {
+  ORDO_COUNTER_ADD("model.evaluations", 1);
   const int threads = arch.cores;
   SpmvEstimate estimate;
   const offset_t nnz = a_.num_nonzeros();

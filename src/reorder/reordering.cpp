@@ -3,6 +3,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace ordo {
 namespace {
 
@@ -19,6 +21,21 @@ Permutation degree_sort_ordering(const CsrMatrix& a) {
 Ordering compute_ordering(const CsrMatrix& a, OrderingKind kind,
                           const ReorderOptions& options) {
   require(a.is_square(), "compute_ordering: matrix must be square");
+  // Phase-granular instrumentation: one span plus one wall-time histogram
+  // sample per ordering computation (the Table 5 quantity, observed).
+  obs::Span span("reorder/" + ordering_name(kind));
+  obs::Stopwatch watch;
+  struct RecordOnExit {
+    OrderingKind kind;
+    obs::Stopwatch& watch;
+    ~RecordOnExit() {
+#if defined(ORDO_OBS_ENABLED)
+      const std::string prefix = "reorder." + ordering_name(kind);
+      obs::counter(prefix + ".calls").increment();
+      obs::histogram(prefix + ".seconds").record(watch.seconds());
+#endif
+    }
+  } record{kind, watch};
   Ordering result;
   result.symmetric = true;
   switch (kind) {

@@ -4,7 +4,44 @@
 
 #include <omp.h>
 
+#include "obs/obs.hpp"
+
 namespace ordo {
+namespace {
+
+// Observed per-thread profile of one kernel launch, recorded only when
+// obs::profiling_enabled() (ORDO_PROFILE=1). The gate is one branch per
+// *launch*; the kernels' inner loops carry no instrumentation either way.
+void record_thread_profile(const char* kernel,
+                           const std::vector<double>& thread_seconds,
+                           const std::vector<offset_t>& thread_nnz) {
+#if defined(ORDO_OBS_ENABLED)
+  const std::string prefix = std::string("spmv.") + kernel;
+  obs::counter(prefix + ".profiled_launches").increment();
+  obs::Histogram& seconds = obs::histogram(prefix + ".thread_seconds");
+  obs::Histogram& nnz = obs::histogram(prefix + ".thread_nnz");
+  double max_seconds = 0.0;
+  double sum_seconds = 0.0;
+  for (std::size_t t = 0; t < thread_seconds.size(); ++t) {
+    seconds.record(thread_seconds[t]);
+    nnz.record(static_cast<double>(thread_nnz[t]));
+    max_seconds = std::max(max_seconds, thread_seconds[t]);
+    sum_seconds += thread_seconds[t];
+  }
+  const double mean_seconds =
+      sum_seconds / static_cast<double>(thread_seconds.size());
+  // Time-based imbalance as observed on this host, the quantity the paper's
+  // Section 3.1 nnz-based factor approximates.
+  obs::gauge(prefix + ".observed_imbalance")
+      .set(mean_seconds > 0.0 ? max_seconds / mean_seconds : 1.0);
+#else
+  (void)kernel;
+  (void)thread_seconds;
+  (void)thread_nnz;
+#endif
+}
+
+}  // namespace
 
 void spmv_serial(const CsrMatrix& a, std::span<const value_t> x,
                  std::span<value_t> y) {
@@ -92,6 +129,39 @@ void spmv_1d(const CsrMatrix& a, std::span<const value_t> x,
   const auto col_idx = a.col_idx();
   const auto values = a.values();
   const index_t m = a.num_rows();
+
+  if (obs::profiling_enabled()) {
+    // Profiled launch: same even contiguous row split, but with explicit
+    // boundaries so each thread can time its own block. This path is taken
+    // only under ORDO_PROFILE=1; the default path below is untouched.
+    const std::vector<index_t> bounds = partition_rows_even(m, num_threads);
+    std::vector<double> thread_seconds(
+        static_cast<std::size_t>(num_threads), 0.0);
+#pragma omp parallel num_threads(num_threads)
+    {
+      const int t = omp_get_thread_num();
+      if (t < num_threads) {
+        const double start = omp_get_wtime();
+        for (index_t i = bounds[static_cast<std::size_t>(t)];
+             i < bounds[static_cast<std::size_t>(t) + 1]; ++i) {
+          value_t sum = 0.0;
+          for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+               k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+            sum += values[static_cast<std::size_t>(k)] *
+                   x[static_cast<std::size_t>(
+                       col_idx[static_cast<std::size_t>(k)])];
+          }
+          y[static_cast<std::size_t>(i)] = sum;
+        }
+        thread_seconds[static_cast<std::size_t>(t)] =
+            omp_get_wtime() - start;
+      }
+    }
+    record_thread_profile("1d", thread_seconds,
+                          nnz_per_thread_1d(a, num_threads));
+    return;
+  }
+
   // schedule(static) with the default chunking yields the even contiguous
   // row split of the paper's 1D algorithm.
 #pragma omp parallel for schedule(static) num_threads(num_threads)
@@ -127,6 +197,10 @@ void spmv_2d(const CsrMatrix& a, std::span<const value_t> x,
   // fix-up adds the carries, so no two threads ever write the same element.
   std::vector<value_t> carry(static_cast<std::size_t>(num_threads), 0.0);
 
+  const bool profiled = obs::profiling_enabled();
+  std::vector<double> thread_seconds(
+      profiled ? static_cast<std::size_t>(num_threads) : 0, 0.0);
+
 #pragma omp parallel num_threads(num_threads)
   {
     // Zero-fill the output first: rows whose nonzeros lie entirely outside a
@@ -140,6 +214,7 @@ void spmv_2d(const CsrMatrix& a, std::span<const value_t> x,
 
     const int t = omp_get_thread_num();
     if (t < num_threads) {
+      const double profile_start = profiled ? omp_get_wtime() : 0.0;
       const offset_t begin = partition.nnz_begin[static_cast<std::size_t>(t)];
       const offset_t end = partition.nnz_begin[static_cast<std::size_t>(t) + 1];
       if (begin < end) {
@@ -171,7 +246,21 @@ void spmv_2d(const CsrMatrix& a, std::span<const value_t> x,
           }
         }
       }
+      if (profiled) {
+        thread_seconds[static_cast<std::size_t>(t)] =
+            omp_get_wtime() - profile_start;
+      }
     }
+  }
+
+  if (profiled) {
+    std::vector<offset_t> thread_nnz(static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      thread_nnz[static_cast<std::size_t>(t)] =
+          partition.nnz_begin[static_cast<std::size_t>(t) + 1] -
+          partition.nnz_begin[static_cast<std::size_t>(t)];
+    }
+    record_thread_profile("2d", thread_seconds, thread_nnz);
   }
 
   // Serial fix-up: add carried partial sums into their rows.

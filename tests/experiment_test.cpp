@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 
 namespace ordo {
 namespace {
@@ -53,6 +54,41 @@ TEST(FullStudy, TwoDImbalanceIsAlwaysOne) {
     }
   }
 }
+
+#if defined(ORDO_OBS_ENABLED)
+TEST(FullStudy, PopulatesObservabilityMetrics) {
+  obs::reset_metrics();
+  const auto corpus = generate_corpus(tiny_corpus());
+  StudyOptions options;
+  const StudyResults results = run_full_study(corpus, options);
+  ASSERT_EQ(results.size(), 16u);
+
+  // One model evaluation per (matrix, machine, kernel, ordering).
+  EXPECT_EQ(obs::counter("model.evaluations").value(),
+            static_cast<std::int64_t>(corpus.size()) * 8 * 2 * 7);
+  EXPECT_EQ(obs::counter("study.matrices").value(),
+            static_cast<std::int64_t>(corpus.size()));
+
+  // Per-ordering wall time (observed) and modeled per-thread work must be
+  // present for every ordering of the study.
+  for (OrderingKind kind : study_orderings()) {
+    const std::string name = ordering_name(kind);
+    EXPECT_TRUE(obs::has_metric("study." + name + ".seconds")) << name;
+    EXPECT_TRUE(obs::has_metric("study." + name + ".max_thread_nnz")) << name;
+    EXPECT_TRUE(obs::has_metric("study." + name + ".imbalance")) << name;
+    if (kind != OrderingKind::kOriginal) {
+      EXPECT_TRUE(obs::has_metric("reorder." + name + ".seconds")) << name;
+      EXPECT_GT(obs::histogram("reorder." + name + ".seconds")
+                    .snapshot().count, 0) << name;
+    }
+  }
+
+  // The GP/HP orderings exercise the partitioners, which report their own
+  // counters.
+  EXPECT_GT(obs::counter("partition.gp.bisections").value(), 0);
+  EXPECT_GT(obs::counter("partition.fm.passes").value(), 0);
+}
+#endif
 
 TEST(ReorderingSpeedups, DividesByOriginal) {
   MeasurementRow row;

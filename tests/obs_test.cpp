@@ -1,0 +1,297 @@
+// Tests for ordo::obs: span nesting and the trace buffer, thread safety of
+// the metrics registry, JSON export well-formedness, the logging sink and
+// environment-variable configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "sparse/types.hpp"
+
+namespace ordo::obs {
+namespace {
+
+// Minimal JSON well-formedness check: balanced braces/brackets outside
+// strings, nothing after the top-level value. Enough to catch the classic
+// dump bugs (trailing commas are caught by the balance+structure of our
+// fixed-shape documents, unescaped quotes by the string scanner).
+bool json_balanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  bool seen_value = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); seen_value = true; break;
+      case '[': stack.push_back(']'); seen_value = true; break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty() && seen_value;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(false);
+    clear_trace();
+    reset_metrics();
+    set_log_level(LogLevel::kQuiet);
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    clear_trace();
+    set_log_level(LogLevel::kQuiet);
+    set_profiling_enabled(false);
+  }
+};
+
+TEST_F(ObsTest, StopwatchMeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(watch.seconds(), 0.0);
+  EXPECT_GE(watch.micros(), 0);
+}
+
+TEST_F(ObsTest, MedianOfRepsRunsWarmupPlusReps) {
+  int calls = 0;
+  const double median = median_seconds_of_reps(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 6);  // 1 warm-up + 5 measured
+  EXPECT_GE(median, 0.0);
+}
+
+TEST_F(ObsTest, SpansRecordNestingDepthAndContainment) {
+  set_tracing_enabled(true);
+  {
+    Span outer("outer");
+    {
+      Span inner("outer/inner");
+    }
+  }
+  const std::vector<SpanEvent> events = collect_trace();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer opens first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "outer/inner");
+  EXPECT_EQ(events[1].depth, 1);
+  // The child lies within the parent.
+  EXPECT_GE(events[1].start_us, events[0].start_us);
+  EXPECT_LE(events[1].start_us + events[1].duration_us,
+            events[0].start_us + events[0].duration_us);
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  {
+    Span span("never");
+    ORDO_SCOPE("never/macro");
+  }
+  EXPECT_TRUE(collect_trace().empty());
+}
+
+TEST_F(ObsTest, SpansFromManyThreadsAllCollected) {
+  set_tracing_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("worker/span");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<SpanEvent> events = collect_trace();
+  EXPECT_GE(events.size(), static_cast<std::size_t>(kThreads * kSpansPerThread));
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsWellFormedJson) {
+  set_tracing_enabled(true);
+  {
+    Span outer("study/run");
+    Span inner("reorder/RCM \"quoted\"\n");
+  }
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("study/run"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  Counter& c = counter("test.concurrent_counter");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kAdds);
+}
+
+TEST_F(ObsTest, HistogramsAreThreadSafeAndSummarize) {
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 5000;
+  Histogram& h = histogram("test.concurrent_histogram");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        h.record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::int64_t>(kThreads) * kRecords);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kThreads));
+  EXPECT_DOUBLE_EQ(s.sum, kRecords * (1.0 + 2.0 + 3.0 + 4.0));
+}
+
+TEST_F(ObsTest, RegistryLookupFromManyThreadsYieldsOneInstrument) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&seen, t] { seen[static_cast<std::size_t>(t)] =
+                         &counter("test.registry_race"); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+}
+
+TEST_F(ObsTest, MetricKindsAreExclusivePerName) {
+  counter("test.kind_collision");
+  EXPECT_THROW(histogram("test.kind_collision"), invalid_argument_error);
+  EXPECT_THROW(gauge("test.kind_collision"), invalid_argument_error);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTripsValuesAndNames) {
+  counter("test.json_counter").add(42);
+  gauge("test.json_gauge").set(2.5);
+  histogram("test.json_histogram").record(3.0);
+  histogram("test.json_histogram").record(5.0);
+
+  std::ostringstream out;
+  write_metrics_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"test.json_counter\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_histogram\":{\"count\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"mean\":4"), std::string::npos);
+
+  EXPECT_TRUE(has_metric("test.json_counter"));
+  const std::vector<std::string> names = metric_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.json_histogram"),
+            names.end());
+}
+
+TEST_F(ObsTest, ResetZeroesWithoutInvalidatingReferences) {
+  Counter& c = counter("test.reset_counter");
+  c.add(7);
+  Histogram& h = histogram("test.reset_histogram");
+  h.record(1.0);
+  reset_metrics();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1);
+}
+
+TEST_F(ObsTest, LogLevelParsingAndGating) {
+  EXPECT_EQ(parse_log_level("quiet"), LogLevel::kQuiet);
+  EXPECT_EQ(parse_log_level("Progress"), LogLevel::kProgress);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("1"), LogLevel::kProgress);
+  EXPECT_THROW(parse_log_level("loud"), invalid_argument_error);
+
+  set_log_level(LogLevel::kProgress);
+  EXPECT_TRUE(log_enabled(LogLevel::kProgress));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  set_log_level(LogLevel::kQuiet);
+  EXPECT_FALSE(log_enabled(LogLevel::kProgress));
+}
+
+TEST_F(ObsTest, InitFromEnvConfiguresEverySink) {
+  ::setenv("ORDO_TRACE", "/tmp/ordo_obs_test_trace.json", 1);
+  ::setenv("ORDO_LOG", "debug", 1);
+  ::setenv("ORDO_METRICS", "/tmp/ordo_obs_test_metrics.json", 1);
+  ::setenv("ORDO_PROFILE", "1", 1);
+  init_from_env();
+  EXPECT_TRUE(tracing_enabled());
+  EXPECT_EQ(trace_output_path(), "/tmp/ordo_obs_test_trace.json");
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  EXPECT_EQ(metrics_output_path(), "/tmp/ordo_obs_test_metrics.json");
+  EXPECT_TRUE(profiling_enabled());
+
+  ::unsetenv("ORDO_TRACE");
+  ::unsetenv("ORDO_LOG");
+  ::unsetenv("ORDO_METRICS");
+  ::unsetenv("ORDO_PROFILE");
+  set_trace_output_path("");
+  set_metrics_output_path("");
+}
+
+TEST_F(ObsTest, FinalizeWritesConfiguredFiles) {
+  const std::string trace_path = ::testing::TempDir() + "/obs_trace.json";
+  const std::string metrics_path = ::testing::TempDir() + "/obs_metrics.json";
+  set_tracing_enabled(true);
+  { Span span("finalize/span"); }
+  counter("test.finalize_counter").add(3);
+  set_trace_output_path(trace_path);
+  set_metrics_output_path(metrics_path);
+  finalize();
+  set_trace_output_path("");
+  set_metrics_output_path("");
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  const std::string trace = slurp(trace_path);
+  const std::string metrics = slurp(metrics_path);
+  EXPECT_TRUE(json_balanced(trace)) << trace;
+  EXPECT_NE(trace.find("finalize/span"), std::string::npos);
+  EXPECT_TRUE(json_balanced(metrics)) << metrics;
+  EXPECT_NE(metrics.find("\"test.finalize_counter\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ordo::obs
