@@ -1,10 +1,16 @@
 // Full-study driver CLI: generates the corpus, runs the complete sweep
-// (7 orderings x 8 machines x 2 kernels) and writes the artifact-style
-// result files — the programmatic entry point behind every figure/table
-// bench, exposed as a standalone tool.
+// (7 orderings x 8 machines x 2 kernels) on the pipeline scheduler and
+// writes the artifact-style result files — the programmatic entry point
+// behind every figure/table bench, exposed as a standalone tool.
 //
-//   ./run_study [--count N] [--scale S] [--out DIR] [--seed K] [--verbose]
-//              [--log quiet|progress|debug]
+//   ./run_study [--count N] [--scale S] [--out DIR] [--seed K] [--jobs N]
+//               [--task-timeout S] [--resume|--no-resume] [--verbose]
+//               [--log quiet|progress|debug]
+//
+// The sweep checkpoints one JSON line per completed matrix into
+// <out>/study_journal.jsonl; an interrupted run restarted with the same
+// arguments resumes where it stopped (--no-resume recomputes from scratch).
+// Result files are byte-identical for every --jobs value.
 //
 // Observability: ORDO_TRACE/ORDO_LOG/ORDO_METRICS/ORDO_PROFILE are honoured
 // (see src/obs/obs.hpp); the trace and metrics files are written on exit.
@@ -14,8 +20,41 @@
 
 #include "core/experiment.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/study_pipeline.hpp"
 
 using namespace ordo;
+
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [options]\n"
+               "\n"
+               "  --count N          corpus matrices (default %d, or "
+               "ORDO_CORPUS_COUNT)\n"
+               "  --scale S          per-matrix nonzero scale (default 1.0, "
+               "or ORDO_CORPUS_SCALE)\n"
+               "  --out DIR          result/cache directory (default "
+               "ordo_results, or ORDO_RESULTS_DIR)\n"
+               "  --seed K           corpus master seed (default 2023)\n"
+               "  --jobs N           parallel per-matrix tasks; 1 = "
+               "sequential, 0 = all cores (default 1, or ORDO_JOBS)\n"
+               "  --task-timeout S   soft per-matrix deadline in seconds; a "
+               "task past it is cancelled\n"
+               "                     cooperatively and recorded as a failure "
+               "(default: none)\n"
+               "  --resume           replay <out>/study_journal.jsonl from an "
+               "interrupted run (default)\n"
+               "  --no-resume        ignore any existing journal and "
+               "recompute every matrix\n"
+               "  --verbose          shorthand for --log progress\n"
+               "  --log LEVEL        quiet|progress|debug (default quiet, or "
+               "ORDO_LOG)\n"
+               "  --help             this message\n",
+               argv0, CorpusOptions{}.count);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   obs::init_from_env();
@@ -38,31 +77,44 @@ int main(int argc, char** argv) {
       out_dir = next();
     } else if (arg == "--seed") {
       corpus.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      study.jobs = std::atoi(next());
+    } else if (arg == "--task-timeout") {
+      study.task_timeout_seconds = std::atof(next());
+    } else if (arg == "--resume") {
+      study.resume = true;
+    } else if (arg == "--no-resume") {
+      study.resume = false;
     } else if (arg == "--verbose") {
       study.verbose = true;
     } else if (arg == "--log") {
       obs::set_log_level(obs::parse_log_level(next()));
     } else if (arg == "--help") {
-      std::printf(
-          "usage: %s [--count N] [--scale S] [--out DIR] [--seed K] "
-          "[--verbose] [--log quiet|progress|debug]\n",
-          argv[0]);
+      print_usage(stdout, argv[0]);
       return 0;
     } else {
-      std::fprintf(stderr, "run_study: unknown argument %s\n", arg.c_str());
+      std::fprintf(stderr, "run_study: unknown argument %s\n\n", arg.c_str());
+      print_usage(stderr, argv[0]);
       return 2;
     }
   }
 
-  std::printf("running study: %d matrices (scale %.2f, seed %llu) -> %s\n",
-              corpus.count, corpus.scale,
-              static_cast<unsigned long long>(corpus.seed), out_dir.c_str());
+  std::printf(
+      "running study: %d matrices (scale %.2f, seed %llu, jobs %d) -> %s\n",
+      corpus.count, corpus.scale,
+      static_cast<unsigned long long>(corpus.seed), study.jobs,
+      out_dir.c_str());
   const StudyResults results = load_or_run_study(out_dir, corpus, study);
 
   std::printf("\n%zu result tables written/loaded:\n", results.size());
   for (const auto& [key, rows] : results) {
     std::printf("  %-10s %s: %zu matrices\n", key.first.c_str(),
                 spmv_kernel_name(key.second).c_str(), rows.size());
+    if (rows.size() != static_cast<std::size_t>(corpus.count)) {
+      std::printf("    (%d matrices missing — see %s/%s)\n",
+                  corpus.count - static_cast<int>(rows.size()), out_dir.c_str(),
+                  pipeline::kFailuresFilename);
+    }
   }
   obs::finalize();
   return 0;

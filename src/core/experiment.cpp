@@ -2,6 +2,8 @@
 
 #include "features/features.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/journal.hpp"
+#include "pipeline/study_pipeline.hpp"
 
 #include <cctype>
 #include <cstdio>
@@ -49,146 +51,148 @@ std::vector<double> reordering_speedups(const MeasurementRow& row) {
   return speedups;
 }
 
-StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
-                            const StudyOptions& options) {
-  ORDO_SCOPE("study/run");
-  // Legacy knob: --verbose is equivalent to ORDO_LOG=progress (it never
-  // lowers a level already raised through the environment).
-  if (options.verbose && !obs::log_enabled(obs::LogLevel::kProgress)) {
-    obs::set_log_level(obs::LogLevel::kProgress);
-  }
-  ORDO_COUNTER_ADD("study.runs", 1);
+MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
+                                 const StudyOptions& options) {
+  obs::Span matrix_span("study/matrix/" + entry.name);
+  ORDO_COUNTER_ADD("study.matrices", 1);
 
   const auto& machines = table2_architectures();
   const auto kinds = study_orderings();
+  const std::atomic<bool>* cancel = options.reorder.cancel;
 
-  StudyResults results;
+  // Arch-independent orderings, computed once. The GP ordering matches the
+  // part count to the machine's cores (Section 3.3), so it is computed per
+  // distinct core count instead.
+  std::map<OrderingKind, CsrMatrix> reordered;
+  for (OrderingKind kind : kinds) {
+    if (kind == OrderingKind::kGp) continue;
+    poll_cancelled(cancel, "run_matrix_study");
+    obs::Stopwatch watch;
+    reordered.emplace(
+        kind,
+        apply_ordering(entry.matrix,
+                       compute_ordering(entry.matrix, kind, options.reorder)));
+    obs::logf(obs::LogLevel::kDebug, "  %s reorder+apply: %.2f ms",
+              ordering_name(kind).c_str(), watch.millis());
+  }
+  std::map<int, CsrMatrix> gp_by_cores;
   for (const Architecture& arch : machines) {
-    results[{arch.name, SpmvKernel::k1D}] = {};
-    results[{arch.name, SpmvKernel::k2D}] = {};
+    if (gp_by_cores.count(arch.cores)) continue;
+    poll_cancelled(cancel, "run_matrix_study");
+    ReorderOptions gp_options = options.reorder;
+    gp_options.gp_parts = arch.cores;
+    obs::Stopwatch watch;
+    gp_by_cores.emplace(
+        arch.cores,
+        apply_ordering(
+            entry.matrix,
+            compute_ordering(entry.matrix, OrderingKind::kGp, gp_options)));
+    obs::logf(obs::LogLevel::kDebug, "  GP(%d parts) reorder+apply: %.2f ms",
+              arch.cores, watch.millis());
   }
 
-  for (std::size_t mi = 0; mi < corpus.size(); ++mi) {
-    const CorpusEntry& entry = corpus[mi];
-    obs::Span matrix_span("study/matrix/" + entry.name);
-    ORDO_COUNTER_ADD("study.matrices", 1);
-    obs::logf(obs::LogLevel::kProgress, "[%zu/%zu] %s (n=%d, nnz=%lld)",
-              mi + 1, corpus.size(), entry.name.c_str(),
-              static_cast<int>(entry.matrix.num_rows()),
-              static_cast<long long>(entry.matrix.num_nonzeros()));
-
-    // Arch-independent orderings, computed once. The GP ordering matches the
-    // part count to the machine's cores (Section 3.3), so it is computed per
-    // distinct core count instead.
-    std::map<OrderingKind, CsrMatrix> reordered;
-    for (OrderingKind kind : kinds) {
-      if (kind == OrderingKind::kGp) continue;
-      obs::Stopwatch watch;
-      reordered.emplace(
-          kind,
-          apply_ordering(entry.matrix,
-                         compute_ordering(entry.matrix, kind, options.reorder)));
-      obs::logf(obs::LogLevel::kDebug, "  %s reorder+apply: %.2f ms",
-                ordering_name(kind).c_str(), watch.millis());
-    }
-    std::map<int, CsrMatrix> gp_by_cores;
-    for (const Architecture& arch : machines) {
-      if (gp_by_cores.count(arch.cores)) continue;
-      ReorderOptions gp_options = options.reorder;
-      gp_options.gp_parts = arch.cores;
-      obs::Stopwatch watch;
-      gp_by_cores.emplace(
-          arch.cores,
-          apply_ordering(
-              entry.matrix,
-              compute_ordering(entry.matrix, OrderingKind::kGp, gp_options)));
-      obs::logf(obs::LogLevel::kDebug, "  GP(%d parts) reorder+apply: %.2f ms",
-                arch.cores, watch.millis());
-    }
-
-    // One reuse profile per reordered matrix, shared across machines.
-    std::map<OrderingKind, SpmvModel> models;
-    {
-      ORDO_SCOPE("study/reuse_profiles");
-      for (const auto& [kind, matrix] : reordered) {
-        models.emplace(kind, SpmvModel(matrix, options.model));
-      }
-    }
-    std::map<int, SpmvModel> gp_models;
-    {
-      ORDO_SCOPE("study/reuse_profiles_gp");
-      for (const auto& [cores, matrix] : gp_by_cores) {
-        gp_models.emplace(cores, SpmvModel(matrix, options.model));
-      }
-    }
-
-    // Order-sensitive features: bandwidth and profile are machine-
-    // independent; the off-diagonal count uses the machine's core count as
-    // block count and is computed per distinct thread count.
-    std::map<OrderingKind, std::pair<std::int64_t, std::int64_t>> band_profile;
+  // One reuse profile per reordered matrix, shared across machines.
+  std::map<OrderingKind, SpmvModel> models;
+  {
+    ORDO_SCOPE("study/reuse_profiles");
     for (const auto& [kind, matrix] : reordered) {
-      band_profile[kind] = {matrix_bandwidth(matrix), matrix_profile(matrix)};
-    }
-    std::map<int, std::pair<std::int64_t, std::int64_t>> gp_band_profile;
-    for (const auto& [cores, matrix] : gp_by_cores) {
-      gp_band_profile[cores] = {matrix_bandwidth(matrix),
-                                matrix_profile(matrix)};
-    }
-    std::map<std::pair<int, int>, std::int64_t> offdiag;  // (ordering idx, cores)
-    for (const Architecture& arch : machines) {
-      for (std::size_t k = 0; k < kinds.size(); ++k) {
-        const auto key = std::make_pair(static_cast<int>(k), arch.cores);
-        if (offdiag.count(key)) continue;
-        const CsrMatrix& matrix = kinds[k] == OrderingKind::kGp
-                                      ? gp_by_cores.at(arch.cores)
-                                      : reordered.at(kinds[k]);
-        offdiag[key] = off_diagonal_block_nonzeros(matrix, arch.cores);
-      }
-    }
-
-    for (const Architecture& arch : machines) {
-      for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
-        obs::Span eval_span("model/" + arch.name + "/" +
-                            spmv_kernel_name(kernel));
-        MeasurementRow row;
-        row.group = entry.group;
-        row.name = entry.name;
-        row.rows = entry.matrix.num_rows();
-        row.cols = entry.matrix.num_cols();
-        row.nnz = entry.matrix.num_nonzeros();
-        row.threads = arch.cores;
-        for (std::size_t k = 0; k < kinds.size(); ++k) {
-          const OrderingKind kind = kinds[k];
-          const SpmvModel& model = kind == OrderingKind::kGp
-                                       ? gp_models.at(arch.cores)
-                                       : models.at(kind);
-          OrderingMeasurement m = to_measurement(model.estimate(kernel, arch));
-          const auto& bp = kind == OrderingKind::kGp
-                               ? gp_band_profile.at(arch.cores)
-                               : band_profile.at(kind);
-          m.bandwidth = bp.first;
-          m.profile = bp.second;
-          m.off_diagonal_nnz =
-              offdiag.at({static_cast<int>(k), arch.cores});
-#if defined(ORDO_OBS_ENABLED)
-          // Modeled per-ordering kernel time and per-thread work, aggregated
-          // over matrices/machines — the per-ordering slice of
-          // ordo_metrics.json.
-          const std::string prefix = "study." + ordering_name(kind);
-          obs::histogram(prefix + ".seconds").record(m.seconds);
-          obs::histogram(prefix + ".imbalance").record(m.imbalance);
-          obs::histogram(prefix + ".max_thread_nnz")
-              .record(static_cast<double>(m.max_thread_nnz));
-          obs::histogram(prefix + ".min_thread_nnz")
-              .record(static_cast<double>(m.min_thread_nnz));
-#endif
-          row.orderings.push_back(m);
-        }
-        results[{arch.name, kernel}].push_back(std::move(row));
-      }
+      poll_cancelled(cancel, "run_matrix_study");
+      models.emplace(kind, SpmvModel(matrix, options.model));
     }
   }
-  return results;
+  std::map<int, SpmvModel> gp_models;
+  {
+    ORDO_SCOPE("study/reuse_profiles_gp");
+    for (const auto& [cores, matrix] : gp_by_cores) {
+      poll_cancelled(cancel, "run_matrix_study");
+      gp_models.emplace(cores, SpmvModel(matrix, options.model));
+    }
+  }
+
+  // Order-sensitive features: bandwidth and profile are machine-
+  // independent; the off-diagonal count uses the machine's core count as
+  // block count and is computed per distinct thread count.
+  std::map<OrderingKind, std::pair<std::int64_t, std::int64_t>> band_profile;
+  for (const auto& [kind, matrix] : reordered) {
+    band_profile[kind] = {matrix_bandwidth(matrix), matrix_profile(matrix)};
+  }
+  std::map<int, std::pair<std::int64_t, std::int64_t>> gp_band_profile;
+  for (const auto& [cores, matrix] : gp_by_cores) {
+    gp_band_profile[cores] = {matrix_bandwidth(matrix),
+                              matrix_profile(matrix)};
+  }
+  std::map<std::pair<int, int>, std::int64_t> offdiag;  // (ordering idx, cores)
+  for (const Architecture& arch : machines) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const auto key = std::make_pair(static_cast<int>(k), arch.cores);
+      if (offdiag.count(key)) continue;
+      const CsrMatrix& matrix = kinds[k] == OrderingKind::kGp
+                                    ? gp_by_cores.at(arch.cores)
+                                    : reordered.at(kinds[k]);
+      offdiag[key] = off_diagonal_block_nonzeros(matrix, arch.cores);
+    }
+  }
+
+  MatrixStudyRows rows;
+  for (const Architecture& arch : machines) {
+    poll_cancelled(cancel, "run_matrix_study");
+    for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+      obs::Span eval_span("model/" + arch.name + "/" +
+                          spmv_kernel_name(kernel));
+      MeasurementRow row;
+      row.group = entry.group;
+      row.name = entry.name;
+      row.rows = entry.matrix.num_rows();
+      row.cols = entry.matrix.num_cols();
+      row.nnz = entry.matrix.num_nonzeros();
+      row.threads = arch.cores;
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        const OrderingKind kind = kinds[k];
+        const SpmvModel& model = kind == OrderingKind::kGp
+                                     ? gp_models.at(arch.cores)
+                                     : models.at(kind);
+        OrderingMeasurement m = to_measurement(model.estimate(kernel, arch));
+        const auto& bp = kind == OrderingKind::kGp
+                             ? gp_band_profile.at(arch.cores)
+                             : band_profile.at(kind);
+        m.bandwidth = bp.first;
+        m.profile = bp.second;
+        m.off_diagonal_nnz =
+            offdiag.at({static_cast<int>(k), arch.cores});
+#if defined(ORDO_OBS_ENABLED)
+        // Modeled per-ordering kernel time and per-thread work, aggregated
+        // over matrices/machines — the per-ordering slice of
+        // ordo_metrics.json.
+        const std::string prefix = "study." + ordering_name(kind);
+        obs::histogram(prefix + ".seconds").record(m.seconds);
+        obs::histogram(prefix + ".imbalance").record(m.imbalance);
+        obs::histogram(prefix + ".max_thread_nnz")
+            .record(static_cast<double>(m.max_thread_nnz));
+        obs::histogram(prefix + ".min_thread_nnz")
+            .record(static_cast<double>(m.min_thread_nnz));
+#endif
+        row.orderings.push_back(m);
+      }
+      rows.emplace(std::make_pair(arch.name, kernel), std::move(row));
+    }
+  }
+  return rows;
+}
+
+StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
+                            const StudyOptions& options) {
+  ORDO_SCOPE("study/run");
+  ORDO_COUNTER_ADD("study.runs", 1);
+  pipeline::StudyReport report = pipeline::run_study_pipeline(corpus, options);
+  if (!report.failures.empty()) {
+    obs::logf(obs::LogLevel::kProgress,
+              "study: %zu of %zu matrices failed and were skipped "
+              "(first: %s: %s)",
+              report.failures.size(), corpus.size(),
+              report.failures.front().name.c_str(),
+              report.failures.front().error.c_str());
+  }
+  return std::move(report.results);
 }
 
 std::string results_filename(SpmvKernel kernel, const Architecture& arch,
@@ -291,7 +295,20 @@ StudyResults load_or_run_study(const std::string& dir,
 
   ORDO_COUNTER_ADD("study.cache_misses", 1);
   const std::vector<CorpusEntry> corpus = generate_corpus(corpus_options);
-  results = run_full_study(corpus, options);
+
+  // The sweep checkpoints into the cache dir (so an interrupted run resumes
+  // there) and honours ORDO_JOBS, which lets every bench parallelise the
+  // sweep without new flags — results are byte-identical for any job count.
+  StudyOptions run_options = options;
+  if (run_options.checkpoint_dir.empty()) {
+    fs::create_directories(dir);
+    run_options.checkpoint_dir = dir;
+  }
+  if (const char* jobs = std::getenv("ORDO_JOBS")) {
+    run_options.jobs = std::atoi(jobs);
+  }
+  results = run_full_study(corpus, run_options);
+
   ORDO_SCOPE("study/write_cache");
   fs::create_directories(dir);
   for (const Architecture& arch : machines) {
@@ -303,6 +320,10 @@ StudyResults load_or_run_study(const std::string& dir,
           results.at({arch.name, kernel}));
     }
   }
+  // The cache files supersede the journal; keep it only for interrupted runs.
+  std::error_code ignored;
+  fs::remove(fs::path(run_options.checkpoint_dir) / pipeline::kJournalFilename,
+             ignored);
   obs::logf(obs::LogLevel::kProgress, "wrote study cache to %s", dir.c_str());
   return results;
 }

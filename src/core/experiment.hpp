@@ -56,16 +56,50 @@ struct StudyOptions {
   /// `progress` for the run (equivalent to ORDO_LOG=progress; see
   /// obs/log.hpp for the structured levels).
   bool verbose = false;
+
+  // --- pipeline scheduling (see src/pipeline/study_pipeline.hpp) ---
+  /// Worker threads for the per-matrix sweep. 1 = the sequential path
+  /// (tasks run inline on the calling thread); 0 = hardware concurrency.
+  /// Results are byte-identical for every value.
+  int jobs = 1;
+  /// Soft per-task deadline in seconds; 0 disables it. A task past its
+  /// deadline is cancelled cooperatively (at the next ordering/bisection/
+  /// separator-level boundary) and recorded as a timed-out failure.
+  double task_timeout_seconds = 0.0;
+  /// Directory for the checkpoint journal (one JSON line per completed
+  /// matrix). Empty disables checkpointing. load_or_run_study points this
+  /// at its cache dir so an interrupted sweep resumes where it stopped.
+  std::string checkpoint_dir;
+  /// When a checkpoint journal for the same corpus and options exists,
+  /// replay it instead of recomputing those matrices.
+  bool resume = true;
 };
 
 /// Results of the full sweep: rows[(machine name, kernel)] -> per-matrix rows.
 using StudyResults =
     std::map<std::pair<std::string, SpmvKernel>, std::vector<MeasurementRow>>;
 
-/// Runs the full study: for each matrix computes the arch-independent
+/// One matrix's rows for every (machine, kernel) pair — the unit of work the
+/// pipeline scheduler executes. Exposed so the scheduler and the sequential
+/// path share one implementation.
+using MatrixStudyRows =
+    std::map<std::pair<std::string, SpmvKernel>, MeasurementRow>;
+
+/// Runs the complete study of a single matrix: the arch-independent
 /// orderings once, the GP ordering once per distinct core count (the paper
-/// matches GP's part count to the machine), and evaluates the performance
-/// model for every (machine, kernel).
+/// matches GP's part count to the machine), order-sensitive features, and
+/// the performance model for every (machine, kernel). Honours
+/// options.reorder.cancel at every phase boundary (and, through it, inside
+/// the ND/GP/HP recursions).
+MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
+                                 const StudyOptions& options);
+
+/// Runs the full study over the corpus on the pipeline scheduler
+/// (options.jobs workers, per-task error isolation, optional soft deadlines
+/// and checkpoint journal — see src/pipeline/). Failed matrices are logged,
+/// counted in the `pipeline.tasks.failed` metric, and skipped; use
+/// pipeline::run_study_pipeline directly for the structured failure rows.
+/// Row order is the corpus order regardless of jobs.
 StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
                             const StudyOptions& options);
 

@@ -77,6 +77,7 @@ void recursive_bisect(const Graph& g, const PartitionOptions& options,
     }
     return;
   }
+  poll_cancelled(options.cancel, "partition_graph");
   const index_t left_parts = num_parts / 2;
   const index_t right_parts = num_parts - left_parts;
   const double target_fraction =

@@ -382,6 +382,7 @@ void recursive_bisect_hg(const Hypergraph& h, const PartitionOptions& options,
     }
     return;
   }
+  poll_cancelled(options.cancel, "partition_hypergraph");
   const index_t left_parts = num_parts / 2;
   const index_t right_parts = num_parts - left_parts;
   const double target_fraction =

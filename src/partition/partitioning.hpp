@@ -23,6 +23,9 @@ struct PartitionOptions {
   int refine_passes = 8;
   /// Seed for tie-breaking and random visit orders.
   std::uint64_t seed = 1;
+  /// Optional cooperative cancellation flag, polled once per bisection (see
+  /// poll_cancelled in sparse/types.hpp). Null means not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// A k-way partition assignment with its quality metrics.

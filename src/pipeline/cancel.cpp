@@ -1,0 +1,50 @@
+#include "pipeline/cancel.hpp"
+
+namespace ordo::pipeline {
+
+// The scan period bounds how late a deadline fires, not how accurate the
+// cancellation is: the task still runs until its next poll site. A few
+// milliseconds keeps even test-sized deadlines (sub-millisecond) effective
+// while costing one wakeup per period for the whole pipeline run.
+constexpr std::chrono::milliseconds kScanPeriod{2};
+
+DeadlineWatchdog::~DeadlineWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DeadlineWatchdog::arm(CancelToken* token,
+                           std::chrono::steady_clock::time_point deadline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_[token] = deadline;
+  if (!thread_.joinable()) {
+    thread_ = std::thread([this] { loop(); });
+  }
+}
+
+void DeadlineWatchdog::disarm(CancelToken* token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.erase(token);
+}
+
+void DeadlineWatchdog::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (it->second <= now) {
+        it->first->cancel();
+        it = armed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    cv_.wait_for(lock, kScanPeriod);
+  }
+}
+
+}  // namespace ordo::pipeline

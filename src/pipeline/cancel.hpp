@@ -1,0 +1,58 @@
+// Cooperative cancellation for pipeline tasks.
+//
+// A CancelToken owns the `std::atomic<bool>` flag that the compute layers
+// poll (ReorderOptions::cancel / PartitionOptions::cancel — see
+// poll_cancelled in sparse/types.hpp). The token itself never watches the
+// clock: soft deadlines are enforced by a DeadlineWatchdog thread that scans
+// the armed tokens every few milliseconds and sets the flag of any task past
+// its deadline. The cancelled task unwinds with operation_cancelled_error at
+// its next poll site (an ordering/model phase boundary, a bisection, or an
+// ND separator level), which the scheduler records as a timed-out failure.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace ordo::pipeline {
+
+/// Per-task cancellation flag. The raw flag pointer is what gets threaded
+/// into ReorderOptions/PartitionOptions; the token stays owned by the
+/// scheduler frame running the task.
+class CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+  const std::atomic<bool>* flag() const { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Flags armed tokens once their deadline passes. One watchdog serves all
+/// workers of a pipeline run; its thread starts lazily on the first arm()
+/// and joins in the destructor. Tokens must be disarmed before destruction.
+class DeadlineWatchdog {
+ public:
+  DeadlineWatchdog() = default;
+  ~DeadlineWatchdog();
+  DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+  DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+  void arm(CancelToken* token, std::chrono::steady_clock::time_point deadline);
+  void disarm(CancelToken* token);
+
+ private:
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<CancelToken*, std::chrono::steady_clock::time_point> armed_;
+  std::thread thread_;
+  bool stop_ = false;
+};
+
+}  // namespace ordo::pipeline

@@ -1,0 +1,421 @@
+#include "pipeline/journal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace ordo::pipeline {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON subset: what the journal emits, and nothing more. Numbers
+// keep their raw text so int64 fields round-trip without a detour through
+// double. A parse failure anywhere throws invalid_argument_error, which the
+// loader treats as the crash point of the interrupted run.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  ///< raw number text, or decoded string value
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue& at(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return v;
+    }
+    throw invalid_argument_error("journal: missing key " + key);
+  }
+  std::int64_t as_int() const {
+    require(kind == Kind::kNumber, "journal: expected number");
+    return std::strtoll(text.c_str(), nullptr, 10);
+  }
+  double as_double() const {
+    require(kind == Kind::kNumber, "journal: expected number");
+    return std::strtod(text.c_str(), nullptr);
+  }
+  const std::string& as_string() const {
+    require(kind == Kind::kString, "journal: expected string");
+    return text;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    require(pos_ == text_.size(), "journal: trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    require(pos_ < text_.size(), "journal: unexpected end of line");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    require(peek() == c, std::string("journal: expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return boolean();
+      case 'n': return null_value();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    for (;;) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key.text), value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    for (;;) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    for (;;) {
+      require(pos_ < text_.size(), "journal: unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        require(pos_ < text_.size(), "journal: bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': v.text += '"'; break;
+          case '\\': v.text += '\\'; break;
+          case '/': v.text += '/'; break;
+          case 'n': v.text += '\n'; break;
+          case 't': v.text += '\t'; break;
+          case 'r': v.text += '\r'; break;
+          default:
+            throw invalid_argument_error("journal: unsupported escape");
+        }
+        continue;
+      }
+      v.text += c;
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw invalid_argument_error("journal: bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    require(text_.compare(pos_, 4, "null") == 0, "journal: bad literal");
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::strchr("+-.eE0123456789", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    require(pos_ > start, "journal: expected number");
+    v.text = text_.substr(start, pos_ - start);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trip exact
+  out += buf;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint (FNV-1a over the result-affecting inputs).
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t hash, const std::string& s) {
+  return fnv1a(hash, s.data(), s.size());
+}
+
+template <typename T>
+std::uint64_t fnv1a_pod(std::uint64_t hash, T value) {
+  return fnv1a(hash, &value, sizeof(value));
+}
+
+// ---------------------------------------------------------------------------
+// Record serialization.
+// ---------------------------------------------------------------------------
+
+SpmvKernel parse_kernel(const std::string& name) {
+  if (name == spmv_kernel_name(SpmvKernel::k1D)) return SpmvKernel::k1D;
+  if (name == spmv_kernel_name(SpmvKernel::k2D)) return SpmvKernel::k2D;
+  throw invalid_argument_error("journal: unknown kernel " + name);
+}
+
+std::string encode_record(const JournalRecord& record) {
+  std::string line;
+  line.reserve(4096);
+  line += "{\"index\":";
+  line += std::to_string(record.index);
+  line += ",\"per_machine\":[";
+  bool first = true;
+  for (const auto& [key, row] : record.rows) {
+    if (!first) line += ',';
+    first = false;
+    line += "{\"machine\":";
+    append_json_string(line, key.first);
+    line += ",\"kernel\":";
+    append_json_string(line, spmv_kernel_name(key.second));
+    line += ",\"group\":";
+    append_json_string(line, row.group);
+    line += ",\"name\":";
+    append_json_string(line, row.name);
+    line += ",\"rows\":" + std::to_string(row.rows);
+    line += ",\"cols\":" + std::to_string(row.cols);
+    line += ",\"nnz\":" + std::to_string(row.nnz);
+    line += ",\"threads\":" + std::to_string(row.threads);
+    line += ",\"m\":[";
+    for (std::size_t k = 0; k < row.orderings.size(); ++k) {
+      const OrderingMeasurement& m = row.orderings[k];
+      if (k > 0) line += ',';
+      line += '[';
+      line += std::to_string(m.min_thread_nnz);
+      line += ',';
+      line += std::to_string(m.max_thread_nnz);
+      line += ',';
+      append_double(line, m.mean_thread_nnz);
+      line += ',';
+      append_double(line, m.imbalance);
+      line += ',';
+      append_double(line, m.seconds);
+      line += ',';
+      append_double(line, m.gflops_max);
+      line += ',';
+      append_double(line, m.gflops_mean);
+      line += ',';
+      line += std::to_string(m.bandwidth);
+      line += ',';
+      line += std::to_string(m.profile);
+      line += ',';
+      line += std::to_string(m.off_diagonal_nnz);
+      line += ']';
+    }
+    line += "]}";
+  }
+  line += "]}";
+  return line;
+}
+
+JournalRecord decode_record(const std::string& line) {
+  const JsonValue v = JsonParser(line).parse();
+  JournalRecord record;
+  record.index = static_cast<int>(v.at("index").as_int());
+  for (const JsonValue& pm : v.at("per_machine").items) {
+    MeasurementRow row;
+    const std::string machine = pm.at("machine").as_string();
+    const SpmvKernel kernel = parse_kernel(pm.at("kernel").as_string());
+    row.group = pm.at("group").as_string();
+    row.name = pm.at("name").as_string();
+    row.rows = static_cast<index_t>(pm.at("rows").as_int());
+    row.cols = static_cast<index_t>(pm.at("cols").as_int());
+    row.nnz = pm.at("nnz").as_int();
+    row.threads = static_cast<int>(pm.at("threads").as_int());
+    for (const JsonValue& tuple : pm.at("m").items) {
+      require(tuple.items.size() == 10, "journal: bad measurement arity");
+      OrderingMeasurement m;
+      m.min_thread_nnz = tuple.items[0].as_int();
+      m.max_thread_nnz = tuple.items[1].as_int();
+      m.mean_thread_nnz = tuple.items[2].as_double();
+      m.imbalance = tuple.items[3].as_double();
+      m.seconds = tuple.items[4].as_double();
+      m.gflops_max = tuple.items[5].as_double();
+      m.gflops_mean = tuple.items[6].as_double();
+      m.bandwidth = tuple.items[7].as_int();
+      m.profile = tuple.items[8].as_int();
+      m.off_diagonal_nnz = tuple.items[9].as_int();
+      row.orderings.push_back(m);
+    }
+    record.rows.emplace(std::make_pair(machine, kernel), std::move(row));
+  }
+  return record;
+}
+
+std::string encode_header(const JournalKey& key) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"format\":\"ordo_study_journal\",\"version\":1,"
+                "\"matrices\":%d,\"fingerprint\":\"%016llx\"}",
+                key.matrices,
+                static_cast<unsigned long long>(key.fingerprint));
+  return buf;
+}
+
+}  // namespace
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  append_json_string(out, s);
+  return out;
+}
+
+JournalKey make_journal_key(const std::vector<CorpusEntry>& corpus,
+                            const StudyOptions& options) {
+  JournalKey key;
+  key.matrices = static_cast<int>(corpus.size());
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const CorpusEntry& entry : corpus) {
+    h = fnv1a_str(h, entry.group);
+    h = fnv1a_str(h, entry.name);
+    h = fnv1a_pod(h, entry.matrix.num_rows());
+    h = fnv1a_pod(h, entry.matrix.num_cols());
+    h = fnv1a_pod(h, entry.matrix.num_nonzeros());
+  }
+  h = fnv1a_pod(h, options.model.cache_scale);
+  h = fnv1a_pod(h, options.model.sync_overhead_us);
+  h = fnv1a_pod(h, options.reorder.gp_parts);
+  h = fnv1a_pod(h, options.reorder.gp_nnz_weighted);
+  h = fnv1a_pod(h, options.reorder.hp_parts);
+  h = fnv1a_pod(h, options.reorder.gray_bits);
+  h = fnv1a_pod(h, options.reorder.gray_dense_threshold);
+  h = fnv1a_pod(h, options.reorder.nd_leaf_size);
+  h = fnv1a_pod(h, options.reorder.sbd_leaf_rows);
+  h = fnv1a_pod(h, options.reorder.seed);
+  key.fingerprint = h;
+  return key;
+}
+
+std::vector<JournalRecord> load_journal(const std::string& path,
+                                        const JournalKey& key) {
+  std::ifstream in(path);
+  if (!in.good()) return {};
+
+  std::string line;
+  if (!std::getline(in, line)) return {};
+  if (line != encode_header(key)) {
+    obs::logf(obs::LogLevel::kProgress,
+              "journal %s does not match this corpus/options; ignoring it",
+              path.c_str());
+    return {};
+  }
+
+  std::vector<JournalRecord> records;
+  std::vector<bool> seen(static_cast<std::size_t>(key.matrices), false);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JournalRecord record;
+    try {
+      record = decode_record(line);
+    } catch (const std::exception& e) {
+      // An unparsable line is where the previous run died mid-append.
+      obs::logf(obs::LogLevel::kDebug, "journal: stopping at corrupt line: %s",
+                e.what());
+      break;
+    }
+    if (record.index < 0 || record.index >= key.matrices ||
+        seen[static_cast<std::size_t>(record.index)]) {
+      continue;
+    }
+    seen[static_cast<std::size_t>(record.index)] = true;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+JournalWriter::JournalWriter(const std::string& path, const JournalKey& key) {
+  out_.open(path, std::ios::trunc);
+  require(out_.good(), "journal: cannot open " + path);
+  out_ << encode_header(key) << '\n' << std::flush;
+}
+
+void JournalWriter::append(const JournalRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << encode_record(record) << '\n' << std::flush;
+}
+
+}  // namespace ordo::pipeline

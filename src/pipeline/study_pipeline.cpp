@@ -1,0 +1,205 @@
+#include "pipeline/study_pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "pipeline/cancel.hpp"
+#include "pipeline/journal.hpp"
+#include "pipeline/task_pool.hpp"
+
+namespace ordo::pipeline {
+namespace {
+
+void write_failures_file(const std::string& path,
+                         const std::vector<StudyTaskFailure>& failures) {
+  std::ofstream out(path, std::ios::trunc);
+  require(out.good(), "pipeline: cannot open " + path);
+  for (const StudyTaskFailure& f : failures) {
+    char seconds[32];
+    std::snprintf(seconds, sizeof(seconds), "%.6g", f.seconds);
+    out << "{\"index\":" << f.index << ",\"group\":" << json_quote(f.group)
+        << ",\"name\":" << json_quote(f.name)
+        << ",\"timed_out\":" << (f.timed_out ? "true" : "false")
+        << ",\"seconds\":" << seconds << ",\"error\":" << json_quote(f.error)
+        << "}\n";
+  }
+}
+
+// Disarms a token from the watchdog on scope exit, including the unwind
+// path of a cancelled task (the token dies with this frame).
+struct ArmGuard {
+  DeadlineWatchdog& watchdog;
+  CancelToken& token;
+  bool armed = false;
+  ~ArmGuard() {
+    if (armed) watchdog.disarm(&token);
+  }
+};
+
+}  // namespace
+
+StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
+                               const StudyOptions& options) {
+  ORDO_SCOPE("pipeline/run");
+  // Legacy knob: --verbose is equivalent to ORDO_LOG=progress (it never
+  // lowers a level already raised through the environment).
+  if (options.verbose && !obs::log_enabled(obs::LogLevel::kProgress)) {
+    obs::set_log_level(obs::LogLevel::kProgress);
+  }
+
+  const auto& machines = table2_architectures();
+  const std::size_t n = corpus.size();
+
+  StudyReport report;
+  // One slot per matrix index: tasks fill their own slot, the merge walks
+  // the slots in corpus order — result files come out byte-identical for
+  // every jobs value.
+  std::vector<std::optional<MatrixStudyRows>> slots(n);
+  std::vector<std::optional<StudyTaskFailure>> failure_slots(n);
+  std::vector<char> done(n, 0);
+
+  // Checkpoint journal: replay, then rewrite (header + replayed records) so
+  // the file also recovers from a corrupt tail left by a killed run.
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.checkpoint_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(options.checkpoint_dir);
+    const std::string path =
+        (fs::path(options.checkpoint_dir) / kJournalFilename).string();
+    const JournalKey key = make_journal_key(corpus, options);
+    if (options.resume) {
+      ORDO_SCOPE("pipeline/journal_replay");
+      for (JournalRecord& record : load_journal(path, key)) {
+        slots[static_cast<std::size_t>(record.index)] = std::move(record.rows);
+        done[static_cast<std::size_t>(record.index)] = 1;
+        ++report.resumed;
+      }
+      if (report.resumed > 0) {
+        ORDO_COUNTER_ADD("pipeline.tasks.resumed", report.resumed);
+        obs::logf(obs::LogLevel::kProgress,
+                  "resuming study: %d of %zu matrices replayed from %s",
+                  report.resumed, n, path.c_str());
+      }
+    }
+    journal = std::make_unique<JournalWriter>(path, key);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) journal->append({static_cast<int>(i), *slots[i]});
+    }
+  }
+
+  DeadlineWatchdog watchdog;
+  const double timeout = options.task_timeout_seconds;
+
+  auto execute = [&](std::size_t i) {
+    const CorpusEntry& entry = corpus[i];
+    obs::Span task_span("pipeline/task/" + entry.name);
+    obs::logf(obs::LogLevel::kProgress, "[%zu/%zu] %s (n=%d, nnz=%lld)", i + 1,
+              n, entry.name.c_str(), static_cast<int>(entry.matrix.num_rows()),
+              static_cast<long long>(entry.matrix.num_nonzeros()));
+
+    CancelToken token;
+    ArmGuard guard{watchdog, token};
+    if (timeout > 0.0) {
+      watchdog.arm(&token, std::chrono::steady_clock::now() +
+                               std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(timeout)));
+      guard.armed = true;
+    }
+    StudyOptions task_options = options;
+    task_options.reorder.cancel = token.flag();
+
+    obs::Stopwatch watch;
+    try {
+      MatrixStudyRows rows = run_matrix_study(entry, task_options);
+      ORDO_HISTOGRAM_RECORD("pipeline.task.seconds", watch.seconds());
+      slots[i] = std::move(rows);
+      if (journal) journal->append({static_cast<int>(i), *slots[i]});
+      ORDO_COUNTER_ADD("pipeline.tasks.completed", 1);
+    } catch (const std::exception& e) {
+      StudyTaskFailure failure;
+      failure.index = static_cast<int>(i);
+      failure.group = entry.group;
+      failure.name = entry.name;
+      failure.error = e.what();
+      failure.timed_out = token.cancelled();
+      failure.seconds = watch.seconds();
+      ORDO_COUNTER_ADD("pipeline.tasks.failed", 1);
+      if (failure.timed_out) ORDO_COUNTER_ADD("pipeline.tasks.timeout", 1);
+      obs::logf(obs::LogLevel::kProgress, "task %s %s after %.2fs: %s",
+                entry.name.c_str(),
+                failure.timed_out ? "timed out" : "failed", failure.seconds,
+                failure.error.c_str());
+      failure_slots[i] = std::move(failure);
+    }
+  };
+
+  std::vector<std::size_t> todo;
+  todo.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!done[i]) todo.push_back(i);
+  }
+  ORDO_COUNTER_ADD("pipeline.tasks.queued",
+                   static_cast<std::int64_t>(todo.size()));
+
+  int jobs = options.jobs;
+  if (jobs == 0) {
+    jobs = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  jobs = std::max(1, jobs);
+
+  if (jobs == 1) {
+    // Sequential path: inline on the calling thread, in corpus order.
+    for (std::size_t i : todo) execute(i);
+  } else {
+    TaskPool pool(std::min<int>(jobs, static_cast<int>(
+                                          std::max<std::size_t>(1, todo.size()))));
+    for (std::size_t i : todo) {
+      pool.submit([&execute, i] { execute(i); });
+    }
+    pool.wait_idle();
+  }
+
+  {
+    ORDO_SCOPE("pipeline/merge");
+    for (const Architecture& arch : machines) {
+      report.results[{arch.name, SpmvKernel::k1D}] = {};
+      report.results[{arch.name, SpmvKernel::k2D}] = {};
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!slots[i]) continue;
+      for (auto& [key, row] : *slots[i]) {
+        report.results[key].push_back(std::move(row));
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (failure_slots[i]) report.failures.push_back(std::move(*failure_slots[i]));
+  }
+  report.computed = static_cast<int>(todo.size()) -
+                    static_cast<int>(report.failures.size());
+
+  if (!options.checkpoint_dir.empty()) {
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::path(options.checkpoint_dir) / kFailuresFilename).string();
+    if (report.failures.empty()) {
+      std::error_code ignored;
+      fs::remove(path, ignored);
+    } else {
+      write_failures_file(path, report.failures);
+    }
+  }
+  return report;
+}
+
+}  // namespace ordo::pipeline

@@ -1,0 +1,117 @@
+#include "pipeline/task_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace ordo::pipeline {
+
+#if defined(ORDO_OBS_ENABLED)
+namespace {
+// Running-task count across all pools, mirrored into the occupancy gauge
+// (the metrics registry is process-wide, so the count is too).
+std::atomic<int> g_running{0};
+}  // namespace
+#endif
+
+TaskPool::TaskPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    target = next_++ % workers_.size();
+    ++unclaimed_;
+    ++in_flight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void TaskPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool TaskPool::try_pop_own(std::size_t self, std::function<void()>& task) {
+  Worker& w = *workers_[self];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.queue.empty()) return false;
+  task = std::move(w.queue.back());
+  w.queue.pop_back();
+  return true;
+}
+
+bool TaskPool::try_steal(std::size_t self, std::function<void()>& task) {
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.queue.empty()) continue;
+    task = std::move(victim.queue.front());
+    victim.queue.pop_front();
+    ORDO_COUNTER_ADD("pipeline.pool.steals", 1);
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop_own(self, task) || try_steal(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --unclaimed_;
+      }
+#if defined(ORDO_OBS_ENABLED)
+      obs::gauge("pipeline.pool.occupancy")
+          .set(g_running.fetch_add(1, std::memory_order_relaxed) + 1);
+#endif
+      task();
+#if defined(ORDO_OBS_ENABLED)
+      obs::gauge("pipeline.pool.occupancy")
+          .set(g_running.fetch_sub(1, std::memory_order_relaxed) - 1);
+#endif
+      bool idle;
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        idle = (--in_flight_ == 0);
+      }
+      if (idle) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_) return;
+    if (unclaimed_ > 0) continue;  // raced with a submit; rescan the queues
+    wake_cv_.wait(lock, [this] { return stop_ || unclaimed_ > 0; });
+  }
+}
+
+}  // namespace ordo::pipeline

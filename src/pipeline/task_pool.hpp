@@ -1,0 +1,70 @@
+// Work-stealing thread pool for the study pipeline.
+//
+// Each worker owns a deque: it pops its own work from the back (LIFO, warm
+// caches) and steals from the front of a victim's deque (FIFO, oldest —
+// i.e. typically largest remaining — work first). Submissions from outside
+// the pool are dealt round-robin across the deques, so a sweep whose
+// matrices vary wildly in cost (the corpus spans three orders of magnitude
+// in nnz) self-balances: a worker that drains its share early steals the
+// stragglers' queued work instead of idling.
+//
+// Tasks must not throw — the pipeline wraps every study task in its own
+// error isolation; a task that does throw anyway terminates the process
+// (matching the repo-wide fail-fast idiom for internal invariants).
+//
+// Observability: `pipeline.pool.occupancy` (gauge, running tasks),
+// `pipeline.pool.steals` (counter) — see src/obs.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ordo::pipeline {
+
+class TaskPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit TaskPool(int threads);
+  /// Waits for all submitted tasks, then joins the workers.
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues a task; never blocks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> queue;
+  };
+
+  bool try_pop_own(std::size_t self, std::function<void()>& task);
+  bool try_steal(std::size_t self, std::function<void()>& task);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // wake_mutex_ guards the counters below and the two condition variables;
+  // per-worker queue mutexes are never held while taking it.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;  ///< workers sleep here when starved
+  std::condition_variable idle_cv_;  ///< wait_idle() sleeps here
+  std::size_t unclaimed_ = 0;        ///< queued, not yet picked up
+  std::size_t in_flight_ = 0;        ///< submitted, not yet finished
+  std::size_t next_ = 0;             ///< round-robin submission cursor
+  bool stop_ = false;
+};
+
+}  // namespace ordo::pipeline

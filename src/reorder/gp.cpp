@@ -34,6 +34,7 @@ Permutation gp_ordering(const CsrMatrix& a, const ReorderOptions& options) {
   popt.num_parts = std::min<index_t>(options.gp_parts,
                                      std::max<index_t>(1, g.num_vertices()));
   popt.seed = options.seed;
+  popt.cancel = options.cancel;
   const PartitionResult partition = partition_graph(g, popt);
 
   // Stable counting sort of vertices by part id.

@@ -20,6 +20,7 @@ Permutation hp_ordering(const CsrMatrix& a, const ReorderOptions& options) {
   popt.num_parts = std::min<index_t>(options.hp_parts,
                                      std::max<index_t>(1, h.num_vertices()));
   popt.seed = options.seed;
+  popt.cancel = options.cancel;
   const PartitionResult partition = partition_hypergraph(h, popt);
 
   std::vector<offset_t> part_begin(

@@ -21,6 +21,7 @@ void dissect(const Graph& g, const std::vector<index_t>& vertices,
              std::vector<index_t>& out) {
   const index_t n = static_cast<index_t>(vertices.size());
   if (n == 0) return;
+  poll_cancelled(options.cancel, "nd_ordering");
 
   // Build the induced subgraph.
   std::vector<index_t> to_sub(static_cast<std::size_t>(g.num_vertices()), -1);
@@ -58,6 +59,7 @@ void dissect(const Graph& g, const std::vector<index_t>& vertices,
   PartitionOptions popt;
   popt.num_parts = 2;
   popt.seed = seed;
+  popt.cancel = options.cancel;
   const PartitionResult bisection = bisect_graph(sub, 0.5, popt);
   const std::vector<bool> separator =
       vertex_separator_from_bisection(sub, bisection.part);

@@ -55,6 +55,12 @@ struct ReorderOptions {
   index_t sbd_leaf_rows = 64;
   /// Seed for partitioner tie-breaking and the random baseline.
   std::uint64_t seed = 1;
+  /// Optional cooperative cancellation flag (see poll_cancelled in
+  /// sparse/types.hpp). The expensive recursive orderings (ND, GP, HP)
+  /// forward it to the partitioners and poll it once per separator level /
+  /// bisection, so a pipeline soft deadline can stop a pathological case
+  /// mid-ordering. Null means not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// A computed ordering: row permutation, column permutation and whether the

@@ -85,6 +85,7 @@ void sbd_recurse(const CsrMatrix& a, const std::vector<index_t>& rows,
   PartitionOptions popt;
   popt.num_parts = 2;
   popt.seed = ctx.seed;
+  popt.cancel = ctx.options->cancel;
   ctx.seed = ctx.seed * 6364136223846793005ULL + 1;
   const PartitionResult bisection = bisect_hypergraph(h, 0.5, popt);
 

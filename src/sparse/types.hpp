@@ -6,6 +6,7 @@
 // 2^31 nonzeros remain representable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -30,6 +31,25 @@ class invalid_argument_error : public std::invalid_argument {
 /// Throws invalid_argument_error with the given message when `cond` is false.
 inline void require(bool cond, const std::string& message) {
   if (!cond) throw invalid_argument_error(message);
+}
+
+/// Exception thrown when a long-running computation observes its cooperative
+/// cancellation flag set (the pipeline scheduler's soft task deadlines; see
+/// src/pipeline/cancel.hpp for who sets the flag).
+class operation_cancelled_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Polls an optional cancellation flag. The flag is plain `std::atomic<bool>`
+/// rather than a richer token so the compute layers (reorder, partition) can
+/// honour cancellation without depending on the pipeline module. A null flag
+/// means "not cancellable" and costs one branch.
+inline void poll_cancelled(const std::atomic<bool>* flag, const char* where) {
+  if (flag && flag->load(std::memory_order_relaxed)) {
+    throw operation_cancelled_error(std::string(where) +
+                                    ": cancelled (task deadline exceeded)");
+  }
 }
 
 }  // namespace ordo

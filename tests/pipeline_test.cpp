@@ -1,0 +1,310 @@
+// Tests for the study pipeline scheduler (src/pipeline): parallel-vs-
+// sequential determinism, per-task failure isolation, checkpoint/resume,
+// soft-deadline cancellation, and the journal/pool building blocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/obs.hpp"
+#include "pipeline/cancel.hpp"
+#include "pipeline/journal.hpp"
+#include "pipeline/study_pipeline.hpp"
+#include "pipeline/task_pool.hpp"
+
+namespace ordo {
+namespace {
+
+namespace fs = std::filesystem;
+
+CorpusOptions tiny_corpus() {
+  CorpusOptions options;
+  options.count = 4;
+  options.scale = 0.02;
+  return options;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void expect_identical_measurement(const OrderingMeasurement& a,
+                                  const OrderingMeasurement& b,
+                                  const std::string& context) {
+  EXPECT_EQ(a.min_thread_nnz, b.min_thread_nnz) << context;
+  EXPECT_EQ(a.max_thread_nnz, b.max_thread_nnz) << context;
+  EXPECT_EQ(a.mean_thread_nnz, b.mean_thread_nnz) << context;
+  EXPECT_EQ(a.imbalance, b.imbalance) << context;
+  EXPECT_EQ(a.seconds, b.seconds) << context;
+  EXPECT_EQ(a.gflops_max, b.gflops_max) << context;
+  EXPECT_EQ(a.gflops_mean, b.gflops_mean) << context;
+  EXPECT_EQ(a.bandwidth, b.bandwidth) << context;
+  EXPECT_EQ(a.profile, b.profile) << context;
+  EXPECT_EQ(a.off_diagonal_nnz, b.off_diagonal_nnz) << context;
+}
+
+void expect_identical_row(const MeasurementRow& a, const MeasurementRow& b,
+                          const std::string& context) {
+  EXPECT_EQ(a.group, b.group) << context;
+  EXPECT_EQ(a.name, b.name) << context;
+  EXPECT_EQ(a.rows, b.rows) << context;
+  EXPECT_EQ(a.cols, b.cols) << context;
+  EXPECT_EQ(a.nnz, b.nnz) << context;
+  EXPECT_EQ(a.threads, b.threads) << context;
+  ASSERT_EQ(a.orderings.size(), b.orderings.size()) << context;
+  for (std::size_t k = 0; k < a.orderings.size(); ++k) {
+    expect_identical_measurement(a.orderings[k], b.orderings[k],
+                                 context + " ordering " + std::to_string(k));
+  }
+}
+
+// Bit-exact equality: determinism across jobs values and across a resumed
+// run is a byte-identity guarantee, not an approximate one.
+void expect_identical_results(const StudyResults& a, const StudyResults& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, rows_a] : a) {
+    ASSERT_TRUE(b.count(key)) << key.first;
+    const auto& rows_b = b.at(key);
+    ASSERT_EQ(rows_a.size(), rows_b.size()) << key.first;
+    for (std::size_t i = 0; i < rows_a.size(); ++i) {
+      expect_identical_row(rows_a[i], rows_b[i],
+                           key.first + "/" + rows_a[i].name);
+    }
+  }
+}
+
+/// A corpus entry whose study is guaranteed to throw: orderings require a
+/// square matrix.
+CorpusEntry poisoned_entry() {
+  CorpusEntry entry;
+  entry.group = "poison";
+  entry.name = "nonsquare";
+  entry.matrix = CsrMatrix(2, 3, {0, 1, 2}, {0, 2}, {1.0, 1.0});
+  return entry;
+}
+
+TEST(TaskPool, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  pipeline::TaskPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+  // The pool stays usable after wait_idle().
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 101);
+}
+
+TEST(DeadlineWatchdog, FlagsOnlyExpiredTokens) {
+  pipeline::DeadlineWatchdog watchdog;
+  pipeline::CancelToken expired;
+  pipeline::CancelToken future;
+  const auto now = std::chrono::steady_clock::now();
+  watchdog.arm(&expired, now);  // already past
+  watchdog.arm(&future, now + std::chrono::hours(1));
+  // Poll until the watchdog's scan fires (2ms period; generous bound).
+  for (int i = 0; i < 2000 && !expired.cancelled(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(expired.cancelled());
+  EXPECT_FALSE(future.cancelled());
+  watchdog.disarm(&expired);
+  watchdog.disarm(&future);
+}
+
+TEST(StudyPipeline, ParallelMatchesSequentialByteForByte) {
+  const auto corpus = generate_corpus(tiny_corpus());
+
+  StudyOptions sequential;
+  sequential.jobs = 1;
+  const StudyResults r1 = run_full_study(corpus, sequential);
+
+  StudyOptions parallel;
+  parallel.jobs = 8;
+  const StudyResults r8 = run_full_study(corpus, parallel);
+
+  expect_identical_results(r1, r8);
+
+  // And the written artifact files are byte-identical.
+  const std::string dir = ::testing::TempDir() + "/ordo_pipeline_determinism";
+  fs::create_directories(dir);
+  const std::string path1 = dir + "/jobs1.txt";
+  const std::string path8 = dir + "/jobs8.txt";
+  write_results_file(path1, r1.at({"Milan B", SpmvKernel::k1D}));
+  write_results_file(path8, r8.at({"Milan B", SpmvKernel::k1D}));
+  EXPECT_EQ(slurp(path1), slurp(path8));
+  fs::remove_all(dir);
+}
+
+TEST(StudyPipeline, FailedMatrixIsIsolated) {
+  auto corpus = generate_corpus(tiny_corpus());
+  corpus.insert(corpus.begin() + 1, poisoned_entry());
+
+  StudyOptions options;
+  options.jobs = 4;
+  const pipeline::StudyReport report =
+      pipeline::run_study_pipeline(corpus, options);
+
+  ASSERT_EQ(report.failures.size(), 1u);
+  const pipeline::StudyTaskFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.index, 1);
+  EXPECT_EQ(failure.group, "poison");
+  EXPECT_EQ(failure.name, "nonsquare");
+  EXPECT_FALSE(failure.error.empty());
+  EXPECT_FALSE(failure.timed_out);
+  EXPECT_EQ(report.computed, static_cast<int>(corpus.size()) - 1);
+
+  // Every healthy matrix still produced its rows, in corpus order.
+  EXPECT_EQ(report.results.size(), 16u);
+  for (const auto& [key, rows] : report.results) {
+    ASSERT_EQ(rows.size(), corpus.size() - 1) << key.first;
+    for (std::size_t i = 0, j = 0; i < corpus.size(); ++i) {
+      if (corpus[i].name == "nonsquare") continue;
+      EXPECT_EQ(rows[j++].name, corpus[i].name) << key.first;
+    }
+  }
+}
+
+TEST(StudyPipeline, ResumesFromTruncatedJournal) {
+  const auto corpus = generate_corpus(tiny_corpus());
+  const std::string dir = ::testing::TempDir() + "/ordo_pipeline_resume";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  StudyOptions options;
+  options.jobs = 1;
+  options.checkpoint_dir = dir;
+  const pipeline::StudyReport first =
+      pipeline::run_study_pipeline(corpus, options);
+  EXPECT_EQ(first.resumed, 0);
+  EXPECT_EQ(first.computed, static_cast<int>(corpus.size()));
+
+  // Simulate a run killed after k matrices: keep the header plus k record
+  // lines, drop the rest (including a torn final line).
+  const std::string journal_path =
+      (fs::path(dir) / pipeline::kJournalFilename).string();
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal_path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), corpus.size() + 1);  // header + one per matrix
+  const int k = 2;
+  {
+    std::ofstream out(journal_path, std::ios::trunc);
+    for (int i = 0; i <= k; ++i) out << lines[i] << "\n";
+    out << "{\"index\": 3, \"per_machi";  // torn tail from the kill
+  }
+
+  const pipeline::StudyReport second =
+      pipeline::run_study_pipeline(corpus, options);
+  EXPECT_EQ(second.resumed, k);
+  EXPECT_EQ(second.computed, static_cast<int>(corpus.size()) - k);
+  EXPECT_TRUE(second.failures.empty());
+  expect_identical_results(first.results, second.results);
+
+  // --no-resume recomputes everything.
+  StudyOptions no_resume = options;
+  no_resume.resume = false;
+  const pipeline::StudyReport third =
+      pipeline::run_study_pipeline(corpus, no_resume);
+  EXPECT_EQ(third.resumed, 0);
+  EXPECT_EQ(third.computed, static_cast<int>(corpus.size()));
+  expect_identical_results(first.results, third.results);
+  fs::remove_all(dir);
+}
+
+TEST(StudyPipeline, SoftDeadlineCancelsPathologicalTask) {
+  // One large matrix (well past the ~2ms watchdog scan period) and a
+  // deadline it cannot meet: the task must come back as a timed-out
+  // failure, not hang and not abort the sweep.
+  CorpusOptions big;
+  big.count = 1;
+  big.scale = 1.0;
+  const auto corpus = generate_corpus(big);
+
+  StudyOptions options;
+  options.jobs = 2;
+  options.task_timeout_seconds = 1e-4;
+  const pipeline::StudyReport report =
+      pipeline::run_study_pipeline(corpus, options);
+
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_TRUE(report.failures.front().timed_out);
+  EXPECT_NE(report.failures.front().error.find("cancelled"),
+            std::string::npos);
+  EXPECT_TRUE(report.results.empty() ||
+              report.results.begin()->second.empty());
+}
+
+#if defined(ORDO_OBS_ENABLED)
+TEST(StudyPipeline, PopulatesSchedulerMetrics) {
+  obs::reset_metrics();
+  const auto corpus = generate_corpus(tiny_corpus());
+  StudyOptions options;
+  options.jobs = 4;
+  const pipeline::StudyReport report =
+      pipeline::run_study_pipeline(corpus, options);
+  ASSERT_TRUE(report.failures.empty());
+
+  EXPECT_EQ(obs::counter("pipeline.tasks.queued").value(),
+            static_cast<std::int64_t>(corpus.size()));
+  EXPECT_EQ(obs::counter("pipeline.tasks.completed").value(),
+            static_cast<std::int64_t>(corpus.size()));
+  EXPECT_EQ(obs::counter("pipeline.tasks.failed").value(), 0);
+  EXPECT_EQ(obs::histogram("pipeline.task.seconds").snapshot().count,
+            static_cast<std::int64_t>(corpus.size()));
+}
+#endif
+
+TEST(Journal, RoundTripsRecordsBitExactly) {
+  const auto corpus = generate_corpus(tiny_corpus());
+  StudyOptions options;
+  const MatrixStudyRows rows = run_matrix_study(corpus[0], options);
+  ASSERT_EQ(rows.size(), 16u);
+
+  const std::string dir = ::testing::TempDir() + "/ordo_journal_roundtrip";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (fs::path(dir) / pipeline::kJournalFilename).string();
+  const pipeline::JournalKey key = pipeline::make_journal_key(corpus, options);
+  {
+    pipeline::JournalWriter writer(path, key);
+    writer.append({0, rows});
+  }
+
+  const auto records = pipeline::load_journal(path, key);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].index, 0);
+  ASSERT_EQ(records[0].rows.size(), rows.size());
+  for (const auto& [machine_kernel, row] : rows) {
+    expect_identical_row(records[0].rows.at(machine_kernel), row,
+                         machine_kernel.first);
+  }
+
+  // A journal written for different options must be ignored wholesale.
+  StudyOptions other = options;
+  other.model.cache_scale *= 2.0;
+  const pipeline::JournalKey other_key =
+      pipeline::make_journal_key(corpus, other);
+  ASSERT_NE(other_key.fingerprint, key.fingerprint);
+  EXPECT_TRUE(pipeline::load_journal(path, other_key).empty());
+  // As must a missing or truncated-to-garbage file.
+  EXPECT_TRUE(pipeline::load_journal(dir + "/missing.jsonl", key).empty());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ordo
