@@ -1,0 +1,82 @@
+// ordo::check — invariant contracts, structure layer.
+//
+// Whole-structure validators over the public types of sparse/, graph/,
+// partition/ and reorder/, built on the raw validators of
+// check/invariants.hpp. These are what the ORDO_CHECK(...) seams invoke at
+// subsystem boundaries:
+//
+//   compute_ordering  → validate_reordering_result
+//   partition_graph / partition_hypergraph → validate_partition
+//   bisect_graph      → validate_bisection_balance
+//   Graph::from_matrix / symmetrize → validate_graph / validate_symmetric_pattern
+//   read_matrix_market → validate_csr
+//   elimination_tree  → validate_elimination_tree (raw layer)
+//   run_matrix_study  → validate_reordered_matrix
+//
+// See docs/ARCHITECTURE.md "Correctness tooling" for the contract-point map.
+#pragma once
+
+#include "check/invariants.hpp"
+#include "graph/graph.hpp"
+#include "partition/hypergraph.hpp"
+#include "partition/partitioning.hpp"
+#include "reorder/reordering.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/permutation.hpp"
+
+namespace ordo::check {
+
+/// Full CSR re-validation (the same contract the CsrMatrix constructor
+/// maintains, re-checked from the outside — for data that crossed an I/O or
+/// subsystem boundary).
+void validate_csr(const CsrMatrix& a, const std::string& where);
+
+/// `perm` must be a bijection on {0, ..., n-1}.
+void validate_permutation(const Permutation& perm, index_t n,
+                          const std::string& where);
+
+/// Adjacency structure plus mirror-symmetry of every edge (the property all
+/// symmetric orderings assume), plus weight-array consistency.
+void validate_graph(const Graph& g, const std::string& where);
+
+/// The matrix pattern must equal its transpose's (what symmetrize promises).
+void validate_symmetric_pattern(const CsrMatrix& a, const std::string& where);
+
+/// Partition consistency: assignment covers every vertex with part ids in
+/// [0, num_parts), and the recorded cut and imbalance match a recount over
+/// the assignment. Deliberately does NOT enforce the balance tolerance:
+/// with many parts on small (or coarse, heavy-vertex) graphs the tolerance
+/// is best-effort, and the recorded imbalance is itself a study output —
+/// the invariant is that it is *reported truthfully*, not that it is small.
+void validate_partition(const Graph& g, const PartitionResult& result,
+                        index_t num_parts, const std::string& where);
+
+/// Structural contract of a single bisection: the recorded imbalance is a
+/// possible value (>= 1) and neither side is empty (a graph with >= 2
+/// vertices must actually be bisected). Deliberately does NOT enforce the
+/// 1 + 2*tolerance window: FM refinement maintains it per level, but the
+/// coarsest level's vertex granularity can exceed any fixed tolerance, so
+/// only the non-degeneracy contract is universal.
+void validate_bisection_balance(const Graph& g, const PartitionResult& result,
+                                double tolerance, const std::string& where);
+
+/// Same consistency contract as validate_partition, for the column-net
+/// hypergraph partitioner (cut recounted with compute_cut_nets).
+void validate_hypergraph_partition(const Hypergraph& h,
+                                   const PartitionResult& result,
+                                   index_t num_parts,
+                                   const std::string& where);
+
+/// Reordering contract: the row permutation is a bijection on the rows, the
+/// column permutation on the columns, and a symmetric ordering uses one
+/// permutation for both.
+void validate_reordering_result(const CsrMatrix& a, const Ordering& ordering,
+                                const std::string& where);
+
+/// Cheap O(1) post-apply check: permuting never changes the shape or the
+/// nonzero count.
+void validate_reordered_matrix(const CsrMatrix& original,
+                               const CsrMatrix& reordered,
+                               const std::string& where);
+
+}  // namespace ordo::check

@@ -1,0 +1,131 @@
+// ordo::check — invariant contracts, raw-array layer.
+//
+// Every number the study reports flows through a handful of structures: CSR
+// matrices, permutations, adjacency graphs and partitions. A silent defect
+// in any of them — a non-bijective permutation, an unsorted row, a row
+// pointer that skips nonzeros — corrupts every downstream bandwidth,
+// profile, fill-in and modeled-GFLOPS figure without failing a test. This
+// layer re-verifies those invariants from first principles and reports
+// violations through ordo::obs (one counter per violation class plus a
+// structured log line) before throwing a typed InvariantViolation, which
+// the pipeline's per-task error isolation records as a StudyTaskFailure
+// instead of aborting the sweep.
+//
+// Two tiers:
+//  * the raw validators here operate on bare spans so the constructors in
+//    sparse/ and graph/ can call them without an include cycle, and so
+//    tests can feed deliberately corrupted arrays that the owning classes
+//    refuse to construct;
+//  * structure-level validators (whole CsrMatrix / Graph / Ordering /
+//    PartitionResult) live in check/check.hpp.
+//
+// Compile-time gating: the validators themselves are always compiled (the
+// constructors and the tests need them in every build type); only the
+// ORDO_CHECK(...) seam macro below compiles away when ORDO_CHECK_INVARIANTS
+// is OFF (the Release default), so hot paths pay nothing.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sparse/types.hpp"
+
+namespace ordo::check {
+
+/// Violation classes, one obs counter each ("check.violations.<name>").
+enum class ViolationKind {
+  kCsr,          ///< malformed CSR arrays
+  kPermutation,  ///< not a bijection on {0, ..., n-1}
+  kGraph,        ///< malformed or asymmetric adjacency
+  kPartition,    ///< inconsistent partition assignment or metrics
+  kOrdering,     ///< malformed reordering result
+  kCholesky,     ///< malformed elimination tree / factor counts
+};
+
+/// Counter suffix and log tag for a violation class ("csr", "permutation",
+/// "graph", "partition", "ordering", "cholesky").
+const char* violation_kind_name(ViolationKind kind);
+
+/// Thrown by every validator on a broken invariant. Derives from
+/// invalid_argument_error so call sites that predate the check layer (and
+/// the tests asserting them) keep working unchanged.
+class InvariantViolation : public invalid_argument_error {
+ public:
+  InvariantViolation(ViolationKind kind, const std::string& where,
+                     const std::string& detail);
+
+  ViolationKind kind() const { return kind_; }
+  /// The contract point that fired, e.g. "partition_graph" or the matrix id
+  /// the caller embedded ("run_matrix_study(lp_0003)").
+  const std::string& where() const { return where_; }
+
+ private:
+  ViolationKind kind_;
+  std::string where_;
+};
+
+/// Records the violation in ordo::obs (counter + structured log) and throws
+/// InvariantViolation. All validators funnel through here.
+[[noreturn]] void report_violation(ViolationKind kind, const std::string& where,
+                                   const std::string& detail);
+
+/// Number of violations reported so far for `kind` (0 when the obs registry
+/// is compiled out). For tests.
+std::int64_t violation_count(ViolationKind kind);
+
+// ---------------------------------------------------------------------------
+// Raw validators. Each throws InvariantViolation via report_violation on the
+// first broken invariant and returns normally otherwise.
+// ---------------------------------------------------------------------------
+
+/// CSR invariants: row_ptr has num_rows+1 monotone entries from 0 to nnz,
+/// column indices are in [0, num_cols) and strictly ascending within each
+/// row (sorted, no duplicates), and the value array matches nnz.
+void validate_csr_raw(index_t num_rows, index_t num_cols,
+                      std::span<const offset_t> row_ptr,
+                      std::span<const index_t> col_idx,
+                      std::size_t num_values, const std::string& where);
+
+/// Permutation invariants: length n and a bijection in both directions
+/// (every image in range, no image repeated — which together imply every
+/// preimage is hit).
+void validate_permutation_raw(std::span<const index_t> perm, index_t n,
+                              const std::string& where);
+
+/// Adjacency invariants: monotone pointer array, neighbours in range, no
+/// self-loops; with `check_symmetry`, every directed entry (u, v) must have
+/// its mirror (v, u) — the property all symmetric orderings assume.
+void validate_adjacency_raw(index_t num_vertices,
+                            std::span<const offset_t> adj_ptr,
+                            std::span<const index_t> adj, bool check_symmetry,
+                            const std::string& where);
+
+/// Elimination-tree invariant: parent[j] is -1 or strictly greater than j
+/// (columns are eliminated in order, so parents always come later).
+void validate_elimination_tree_raw(std::span<const index_t> parent,
+                                   const std::string& where);
+
+}  // namespace ordo::check
+
+// Seam macro: ORDO_CHECK(validate_partition(g, result, options, "where"))
+// expands to the ordo::check:: call when invariant checking is compiled in
+// and to nothing otherwise. Seams are phase-granular (one validation per
+// ordering / partition / factorization), so even the O(nnz) validators add
+// no more than a constant factor to a Debug run — and Release binaries are
+// byte-for-byte free of them.
+#if defined(ORDO_CHECK_INVARIANTS_ENABLED)
+#define ORDO_CHECK(call) (::ordo::check::call)
+#else
+#define ORDO_CHECK(call) ((void)0)
+#endif
+
+/// True when ORDO_CHECK seams are compiled in (for tests and reporting).
+namespace ordo::check {
+constexpr bool invariant_checks_enabled() {
+#if defined(ORDO_CHECK_INVARIANTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+}  // namespace ordo::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hpp"
 #include "obs/obs.hpp"
 #include "sparse/csr_ops.hpp"
 
@@ -40,6 +41,9 @@ std::vector<index_t> elimination_tree(const CsrMatrix& a_in) {
       }
     }
   }
+  // Fill counts, postorder and the factor nnz all assume parents come after
+  // their children; a broken tree silently skews every Fig. 6 fill ratio.
+  ORDO_CHECK(validate_elimination_tree_raw(parent, "elimination_tree"));
   return parent;
 }
 

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include "check/check.hpp"
 #include "features/features.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/journal.hpp"
@@ -68,10 +69,15 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
     if (kind == OrderingKind::kGp) continue;
     poll_cancelled(cancel, "run_matrix_study");
     obs::Stopwatch watch;
-    reordered.emplace(
-        kind,
-        apply_ordering(entry.matrix,
-                       compute_ordering(entry.matrix, kind, options.reorder)));
+    [[maybe_unused]] const auto it = reordered
+        .emplace(kind, apply_ordering(
+                           entry.matrix,
+                           compute_ordering(entry.matrix, kind,
+                                            options.reorder)))
+        .first;
+    ORDO_CHECK(validate_reordered_matrix(
+        entry.matrix, it->second,
+        "run_matrix_study(" + entry.name + "/" + ordering_name(kind) + ")"));
     obs::logf(obs::LogLevel::kDebug, "  %s reorder+apply: %.2f ms",
               ordering_name(kind).c_str(), watch.millis());
   }
@@ -82,11 +88,17 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
     ReorderOptions gp_options = options.reorder;
     gp_options.gp_parts = arch.cores;
     obs::Stopwatch watch;
-    gp_by_cores.emplace(
-        arch.cores,
-        apply_ordering(
-            entry.matrix,
-            compute_ordering(entry.matrix, OrderingKind::kGp, gp_options)));
+    [[maybe_unused]] const auto it = gp_by_cores
+        .emplace(arch.cores,
+                 apply_ordering(entry.matrix,
+                                compute_ordering(entry.matrix,
+                                                 OrderingKind::kGp,
+                                                 gp_options)))
+        .first;
+    ORDO_CHECK(validate_reordered_matrix(
+        entry.matrix, it->second,
+        "run_matrix_study(" + entry.name + "/gp" +
+            std::to_string(arch.cores) + ")"));
     obs::logf(obs::LogLevel::kDebug, "  GP(%d parts) reorder+apply: %.2f ms",
               arch.cores, watch.millis());
   }

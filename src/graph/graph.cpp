@@ -4,6 +4,7 @@
 #include <numeric>
 #include <queue>
 
+#include "check/invariants.hpp"
 #include "sparse/csr_ops.hpp"
 
 namespace ordo {
@@ -33,20 +34,11 @@ Graph::Graph(index_t num_vertices, std::vector<offset_t> adj_ptr,
 }
 
 void Graph::validate() const {
-  require(num_vertices_ >= 0, "Graph: negative vertex count");
-  require(adj_ptr_.size() == static_cast<std::size_t>(num_vertices_) + 1,
-          "Graph: adj_ptr size must be num_vertices + 1");
-  require(adj_ptr_.front() == 0, "Graph: adj_ptr must start at 0");
-  require(adj_ptr_.back() == static_cast<offset_t>(adj_.size()),
-          "Graph: adj_ptr must end at adjacency size");
-  for (index_t v = 0; v < num_vertices_; ++v) {
-    require(adj_ptr_[v] <= adj_ptr_[v + 1], "Graph: adj_ptr not monotone");
-    for (offset_t k = adj_ptr_[v]; k < adj_ptr_[v + 1]; ++k) {
-      const index_t u = adj_[static_cast<std::size_t>(k)];
-      require(u >= 0 && u < num_vertices_, "Graph: neighbour out of range");
-      require(u != v, "Graph: self-loop not allowed");
-    }
-  }
+  // Structural contract only; the O(m log m) mirror-symmetry check runs at
+  // the Graph::from_matrix seam under ORDO_CHECK (construction happens per
+  // coarsening level, where re-checking symmetry every time would dominate).
+  check::validate_adjacency_raw(num_vertices_, adj_ptr_, adj_,
+                                /*check_symmetry=*/false, "Graph");
 }
 
 Graph Graph::from_matrix(const CsrMatrix& a) {
@@ -63,7 +55,13 @@ Graph Graph::from_matrix(const CsrMatrix& a) {
     adj_ptr[static_cast<std::size_t>(i) + 1] =
         static_cast<offset_t>(adj.size());
   }
-  return Graph(n, std::move(adj_ptr), std::move(adj));
+  Graph g(n, std::move(adj_ptr), std::move(adj));
+  // Every symmetric ordering assumes a mirror-complete adjacency; check it
+  // once where the graph enters the system.
+  ORDO_CHECK(validate_adjacency_raw(g.num_vertices(), g.adj_ptr(), g.adj(),
+                                    /*check_symmetry=*/true,
+                                    "Graph::from_matrix"));
+  return g;
 }
 
 std::int64_t Graph::total_vertex_weight() const {

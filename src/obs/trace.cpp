@@ -16,12 +16,16 @@ namespace {
 
 std::atomic<bool> g_tracing_enabled{false};
 
-// Per-thread span buffer. Owned by the thread (appends are unsynchronised);
-// the global registry below keeps a pointer for snapshot collection. Buffers
-// deliberately leak at thread exit so spans from joined threads survive
-// until export — the process-lifetime cost is bounded by span volume, which
-// is phase-granular.
+// Per-thread span buffer. The owning thread is the only appender, but a
+// snapshot (collect_trace/clear_trace) may run concurrently from another
+// thread, so the events vector is guarded by a per-buffer mutex — contended
+// only at export time, and spans are phase-granular, so the uncontended
+// lock per span close is noise. `depth` stays unguarded: only the owning
+// thread ever touches it. Buffers deliberately leak at thread exit so spans
+// from joined threads survive until export — the process-lifetime cost is
+// bounded by span volume.
 struct ThreadBuffer {
+  std::mutex mutex;  ///< guards `events` (owner appends, exporters read)
   std::vector<SpanEvent> events;
   int depth = 0;
   int thread_id = 0;
@@ -91,6 +95,7 @@ void set_tracing_enabled(bool enabled) {
 void clear_trace() {
   std::lock_guard<std::mutex> lock(registry_mutex());
   for (ThreadBuffer* buffer : registry()) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
     buffer->events.clear();
   }
 }
@@ -98,8 +103,11 @@ void clear_trace() {
 std::vector<SpanEvent> collect_trace() {
   std::vector<SpanEvent> all;
   {
+    // Lock order: registry mutex, then each buffer mutex. Appenders only
+    // ever take their own buffer mutex, so the order cannot invert.
     std::lock_guard<std::mutex> lock(registry_mutex());
-    for (const ThreadBuffer* buffer : registry()) {
+    for (ThreadBuffer* buffer : registry()) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
       all.insert(all.end(), buffer->events.begin(), buffer->events.end());
     }
   }
@@ -159,6 +167,7 @@ Span::~Span() {
   event.duration_us = end_us - start_us_;
   event.thread_id = buffer.thread_id;
   event.depth = depth_;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
   buffer.events.push_back(std::move(event));
 }
 

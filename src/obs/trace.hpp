@@ -1,10 +1,12 @@
 // Scoped-timer hierarchical tracing (the ORDO_SCOPE half of ordo::obs).
 //
-// Spans are recorded into a lock-free per-thread buffer: each thread owns a
+// Spans are recorded into a per-thread buffer: each thread owns a
 // thread_local vector it alone appends to, so an active span costs one
-// atomic flag load when tracing is off and two clock reads plus a push_back
-// when it is on. The global registry of thread buffers is only locked on a
-// thread's first span and when a snapshot is collected (export time).
+// atomic flag load when tracing is off and two clock reads plus a
+// push_back under the buffer's (uncontended outside export) mutex when it
+// is on. The global registry of thread buffers is only locked on a thread's
+// first span and when a snapshot is collected (export time), where each
+// buffer's mutex is also taken so snapshots race-freely overlap appends.
 //
 // Instrumentation is placed at phase granularity (a reordering, a model
 // evaluation, a corpus build) — never inside kernel inner loops — so the
@@ -40,8 +42,9 @@ void set_tracing_enabled(bool enabled);
 void clear_trace();
 
 /// Snapshot of all spans recorded so far, merged across threads and sorted
-/// by start time. Call after worker threads have joined (or at process
-/// exit); collection locks out new thread registrations but not appends.
+/// by start time. Safe to call while other threads are still recording:
+/// spans closed before the snapshot are included, spans closing during it
+/// land on one side of their buffer's lock.
 std::vector<SpanEvent> collect_trace();
 
 /// Writes the collected spans as Chrome trace_event JSON.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 
+#include "check/check.hpp"
 #include "obs/obs.hpp"
 #include "partition/coarsening.hpp"
 #include "partition/fm_refinement.hpp"
@@ -107,6 +109,37 @@ void recursive_bisect(const Graph& g, const PartitionOptions& options,
                    right_map, out_part, seed * 6364136223846793005ULL + 2);
 }
 
+// Repairs a degenerate bisection (every vertex on one side). The FM balance
+// window permits this on tiny graphs — floor(total * fraction * (1 - tol))
+// reaches 0, so neither greedy growing nor refinement is forced to populate
+// both sides — and a degenerate split makes the recursive callers (GP, ND)
+// spin without progress. Moves the vertex whose weighted degree is smallest
+// (the cheapest new cut), lowest id on ties, to the empty side.
+void repair_degenerate_bisection(const Graph& g, std::vector<index_t>& part) {
+  const index_t n = g.num_vertices();
+  if (n < 2) return;
+  index_t count0 = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] == 0) ++count0;
+  }
+  if (count0 != 0 && count0 != n) return;
+  const index_t empty_side = count0 == 0 ? 0 : 1;
+  index_t best = 0;
+  std::int64_t best_degree = std::numeric_limits<std::int64_t>::max();
+  for (index_t v = 0; v < n; ++v) {
+    std::int64_t weighted_degree = 0;
+    for (offset_t e = g.adj_ptr()[static_cast<std::size_t>(v)];
+         e < g.adj_ptr()[static_cast<std::size_t>(v) + 1]; ++e) {
+      weighted_degree += g.edge_weight(e);
+    }
+    if (weighted_degree < best_degree) {
+      best_degree = weighted_degree;
+      best = v;
+    }
+  }
+  part[static_cast<std::size_t>(best)] = empty_side;
+}
+
 }  // namespace
 
 PartitionResult bisect_graph(const Graph& g, double target_fraction,
@@ -160,11 +193,16 @@ PartitionResult bisect_graph(const Graph& g, double target_fraction,
         options.refine_passes);
   }
 
+  repair_degenerate_bisection(g, part);
+
   PartitionResult result;
   result.part = std::move(part);
   result.num_parts = 2;
   result.cut = compute_edge_cut(g, result.part);
   result.imbalance = compute_partition_imbalance(g, result.part, 2);
+  ORDO_CHECK(validate_partition(g, result, 2, "bisect_graph"));
+  ORDO_CHECK(validate_bisection_balance(
+      g, result, options.imbalance_tolerance, "bisect_graph"));
   return result;
 }
 
@@ -186,6 +224,8 @@ PartitionResult partition_graph(const Graph& g,
   result.cut = compute_edge_cut(g, result.part);
   result.imbalance =
       compute_partition_imbalance(g, result.part, options.num_parts);
+  ORDO_CHECK(
+      validate_partition(g, result, options.num_parts, "partition_graph"));
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <queue>
 #include <random>
 
+#include "check/check.hpp"
 #include "obs/obs.hpp"
 
 namespace ordo {
@@ -478,6 +479,8 @@ PartitionResult bisect_hypergraph(const Hypergraph& h, double target_fraction,
                      static_cast<double>(h.total_vertex_weight() - weight0)) /
                 average
           : 1.0;
+  ORDO_CHECK(
+      validate_hypergraph_partition(h, result, 2, "bisect_hypergraph"));
   return result;
 }
 
@@ -510,6 +513,8 @@ PartitionResult partition_hypergraph(const Hypergraph& h,
                                                           weights.end())) /
                         average
                   : 1.0;
+  ORDO_CHECK(validate_hypergraph_partition(h, result, options.num_parts,
+                                           "partition_hypergraph"));
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <optional>
 #include <thread>
 
+#include "check/invariants.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/cancel.hpp"
 #include "pipeline/journal.hpp"
@@ -28,8 +29,11 @@ void write_failures_file(const std::string& path,
     out << "{\"index\":" << f.index << ",\"group\":" << json_quote(f.group)
         << ",\"name\":" << json_quote(f.name)
         << ",\"timed_out\":" << (f.timed_out ? "true" : "false")
-        << ",\"seconds\":" << seconds << ",\"error\":" << json_quote(f.error)
-        << "}\n";
+        << ",\"seconds\":" << seconds << ",\"error\":" << json_quote(f.error);
+    if (!f.invariant_kind.empty()) {
+      out << ",\"invariant_kind\":" << json_quote(f.invariant_kind);
+    }
+    out << "}\n";
   }
 }
 
@@ -118,20 +122,16 @@ StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
     task_options.reorder.cancel = token.flag();
 
     obs::Stopwatch watch;
-    try {
-      MatrixStudyRows rows = run_matrix_study(entry, task_options);
-      ORDO_HISTOGRAM_RECORD("pipeline.task.seconds", watch.seconds());
-      slots[i] = std::move(rows);
-      if (journal) journal->append({static_cast<int>(i), *slots[i]});
-      ORDO_COUNTER_ADD("pipeline.tasks.completed", 1);
-    } catch (const std::exception& e) {
+    auto record_failure = [&](const char* what,
+                              const std::string& invariant_kind) {
       StudyTaskFailure failure;
       failure.index = static_cast<int>(i);
       failure.group = entry.group;
       failure.name = entry.name;
-      failure.error = e.what();
+      failure.error = what;
       failure.timed_out = token.cancelled();
       failure.seconds = watch.seconds();
+      failure.invariant_kind = invariant_kind;
       ORDO_COUNTER_ADD("pipeline.tasks.failed", 1);
       if (failure.timed_out) ORDO_COUNTER_ADD("pipeline.tasks.timeout", 1);
       obs::logf(obs::LogLevel::kProgress, "task %s %s after %.2fs: %s",
@@ -139,6 +139,21 @@ StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
                 failure.timed_out ? "timed out" : "failed", failure.seconds,
                 failure.error.c_str());
       failure_slots[i] = std::move(failure);
+    };
+    try {
+      MatrixStudyRows rows = run_matrix_study(entry, task_options);
+      ORDO_HISTOGRAM_RECORD("pipeline.task.seconds", watch.seconds());
+      slots[i] = std::move(rows);
+      if (journal) journal->append({static_cast<int>(i), *slots[i]});
+      ORDO_COUNTER_ADD("pipeline.tasks.completed", 1);
+    } catch (const check::InvariantViolation& e) {
+      // A contract breach inside one matrix's study is isolated like any
+      // other failure, but tagged with its violation class so the failure
+      // file distinguishes "wrong answer detected" from "crashed/slow".
+      ORDO_COUNTER_ADD("pipeline.tasks.invariant_violations", 1);
+      record_failure(e.what(), violation_kind_name(e.kind()));
+    } catch (const std::exception& e) {
+      record_failure(e.what(), std::string());
     }
   };
 

@@ -36,6 +36,9 @@ struct StudyTaskFailure {
   std::string error;       ///< exception message
   bool timed_out = false;  ///< failed via the soft deadline
   double seconds = 0.0;    ///< task wall time until the failure
+  /// Violation class (check::violation_kind_name) when the task failed an
+  /// ordo::check invariant contract; empty for ordinary failures.
+  std::string invariant_kind;
 };
 
 struct StudyReport {

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "obs/obs.hpp"
 
 namespace ordo {
@@ -66,6 +67,8 @@ Ordering compute_ordering(const CsrMatrix& a, OrderingKind kind,
       result.row_perm = rows;
       result.col_perm = cols;
       result.symmetric = false;
+      ORDO_CHECK(validate_reordering_result(
+          a, result, "compute_ordering(" + ordering_name(kind) + ")"));
       return result;
     }
     case OrderingKind::kKing:
@@ -83,6 +86,11 @@ Ordering compute_ordering(const CsrMatrix& a, OrderingKind kind,
   }
   result.col_perm = result.symmetric ? result.row_perm
                                      : identity_permutation(a.num_cols());
+  // Contract: whatever the algorithm did, the result must be a bijection on
+  // the rows (and columns) — a silently non-bijective permutation corrupts
+  // every downstream bandwidth/profile/GFLOPS figure.
+  ORDO_CHECK(validate_reordering_result(
+      a, result, "compute_ordering(" + ordering_name(kind) + ")"));
   return result;
 }
 

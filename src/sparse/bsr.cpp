@@ -127,7 +127,9 @@ CsrMatrix BsrMatrix::to_csr() const {
         for (int c = 0; c < bs; ++c) {
           const index_t j = bj * bs + c;
           if (j >= cols_) break;
-          if (block[r * bs + c] != 0.0) {
+          // Exact zero is the structural padding BSR blocks carry;
+          // dropping only bit-exact zeros round-trips every stored value.
+          if (block[r * bs + c] != 0.0) {  // ordo-lint: allow(float-eq)
             coo.add(i, j, block[r * bs + c]);
           }
         }

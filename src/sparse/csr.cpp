@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/invariants.hpp"
+
 namespace ordo {
 namespace {
 
@@ -68,28 +70,11 @@ CsrMatrix::CsrMatrix(index_t num_rows, index_t num_cols,
 }
 
 void CsrMatrix::validate() const {
-  require(num_rows_ >= 0 && num_cols_ >= 0, "CsrMatrix: negative dimension");
-  require(row_ptr_.size() == static_cast<std::size_t>(num_rows_) + 1,
-          "CsrMatrix: row_ptr size must be num_rows + 1");
-  require(row_ptr_.front() == 0, "CsrMatrix: row_ptr must start at 0");
-  require(row_ptr_.back() == static_cast<offset_t>(col_idx_.size()),
-          "CsrMatrix: row_ptr must end at nnz");
-  require(col_idx_.size() == values_.size(),
-          "CsrMatrix: col_idx and values must have equal length");
-  for (index_t i = 0; i < num_rows_; ++i) {
-    require(row_ptr_[static_cast<std::size_t>(i)] <=
-                row_ptr_[static_cast<std::size_t>(i) + 1],
-            "CsrMatrix: row_ptr must be nondecreasing");
-    for (offset_t k = row_ptr_[static_cast<std::size_t>(i)];
-         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
-      const index_t j = col_idx_[static_cast<std::size_t>(k)];
-      require(j >= 0 && j < num_cols_, "CsrMatrix: column index out of range");
-      if (k > row_ptr_[static_cast<std::size_t>(i)]) {
-        require(col_idx_[static_cast<std::size_t>(k - 1)] < j,
-                "CsrMatrix: columns must be strictly ascending within a row");
-      }
-    }
-  }
+  // Routed through ordo::check so a malformed construction is counted in
+  // the check.violations.csr metric and throws the typed InvariantViolation
+  // (still an invalid_argument_error to callers, as before).
+  check::validate_csr_raw(num_rows_, num_cols_, row_ptr_, col_idx_,
+                          values_.size(), "CsrMatrix");
 }
 
 CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/invariants.hpp"
+
 namespace ordo {
 
 CsrMatrix transpose(const CsrMatrix& a) {
@@ -76,7 +78,15 @@ CsrMatrix symmetrize(const CsrMatrix& a) {
     s_ptr[static_cast<std::size_t>(i) + 1] =
         static_cast<offset_t>(s_col.size());
   }
-  return CsrMatrix(n, n, std::move(s_ptr), std::move(s_col), std::move(s_val));
+  CsrMatrix s(n, n, std::move(s_ptr), std::move(s_col), std::move(s_val));
+#if defined(ORDO_CHECK_INVARIANTS_ENABLED)
+  // Contract: the merged pattern equals its transpose's.
+  if (!is_pattern_symmetric(s)) {
+    check::report_violation(check::ViolationKind::kCsr, "symmetrize",
+                            "result pattern is not symmetric");
+  }
+#endif
+  return s;
 }
 
 CsrMatrix permute_symmetric(const CsrMatrix& a, const Permutation& perm) {

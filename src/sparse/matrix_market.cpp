@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "check/invariants.hpp"
+
 namespace ordo {
 namespace {
 
@@ -104,7 +106,13 @@ CsrMatrix to_csr(const MmFile& file) {
 CsrMatrix load_matrix_market(const std::string& path) {
   std::ifstream in(path);
   require(in.good(), "load_matrix_market: cannot open " + path);
-  return to_csr(read_matrix_market(in));
+  CsrMatrix a = to_csr(read_matrix_market(in));
+  // I/O seam: re-verify the assembled CSR where external data enters the
+  // system, so a loader defect is reported as a counted, typed violation.
+  ORDO_CHECK(validate_csr_raw(a.num_rows(), a.num_cols(), a.row_ptr(),
+                              a.col_idx(), a.values().size(),
+                              "load_matrix_market(" + path + ")"));
+  return a;
 }
 
 void write_matrix_market(std::ostream& out, const CsrMatrix& a) {

@@ -2,9 +2,9 @@
 #include <gtest/gtest.h>
 
 #include "features/features.hpp"
-#include "spmv/spmv.hpp"
 #include "reorder/reordering.hpp"
 #include "sparse/csr_ops.hpp"
+#include "spmv/spmv.hpp"
 #include "test_util.hpp"
 
 namespace ordo {
@@ -142,6 +142,35 @@ TEST(Features, RcmReducesBandwidthAndProfileOnShuffledGrid) {
       shuffled, compute_ordering(shuffled, OrderingKind::kRcm));
   EXPECT_LT(matrix_bandwidth(rcm), matrix_bandwidth(shuffled) / 2);
   EXPECT_LT(matrix_profile(rcm), matrix_profile(shuffled) / 2);
+}
+
+TEST(Features, ProfileBeyondInt32DoesNotOverflow) {
+  // Regression test for the 64-bit index audit: every row i > 0 stores
+  // {0, i}, so the profile is 0 + 1 + ... + (n-1) = n(n-1)/2 ≈ 2.45e9 —
+  // past INT32_MAX with only ~140k nonzeros. A 32-bit accumulator anywhere
+  // in the profile path would wrap this value.
+  const index_t n = 70000;
+  std::vector<offset_t> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  std::vector<index_t> col_idx;
+  col_idx.reserve(2 * static_cast<std::size_t>(n));
+  row_ptr.push_back(0);
+  col_idx.push_back(0);  // row 0: diagonal only
+  row_ptr.push_back(1);
+  for (index_t i = 1; i < n; ++i) {
+    col_idx.push_back(0);
+    col_idx.push_back(i);
+    row_ptr.push_back(static_cast<offset_t>(col_idx.size()));
+  }
+  std::vector<value_t> values(col_idx.size(), 1.0);
+  const CsrMatrix a(n, n, std::move(row_ptr), std::move(col_idx),
+                    std::move(values));
+
+  const std::int64_t expected =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  ASSERT_GT(expected, static_cast<std::int64_t>(2147483647));
+  EXPECT_EQ(matrix_profile(a), expected);
+  EXPECT_EQ(matrix_bandwidth(a), n - 1);
 }
 
 TEST(Features, GpReducesOffDiagonalCount) {

@@ -1,0 +1,216 @@
+// ThreadSanitizer stress suite (src/pipeline + src/obs concurrency).
+//
+// These tests exist to give TSan (-DORDO_SANITIZE=thread) dense interleaving
+// coverage of every concurrent structure in the repo: the work-stealing
+// TaskPool (steal-heavy loads, cross-thread submission, repeated drain
+// cycles), DeadlineWatchdog arm/disarm churn with cancellations landing
+// mid-task, JournalWriter appends from many workers, the obs metrics
+// registry, and trace-span recording overlapped with snapshot collection.
+// They run (and must pass) in ordinary builds too — they are plain
+// functional tests with assertions — but their interleavings only become
+// proofs under TSan, which the `tsan` CI job provides. The `Tsan` name
+// prefix is what that job's `ctest -R` selects on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "pipeline/cancel.hpp"
+#include "pipeline/journal.hpp"
+#include "pipeline/task_pool.hpp"
+
+namespace ordo {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small enough to keep the suite fast, large enough that steals, wakeups
+// and watchdog scans genuinely overlap.
+constexpr int kTasks = 400;
+constexpr int kWorkers = 4;
+
+TEST(TsanStressTest, TaskPoolStealHeavyMixedDurations) {
+  pipeline::TaskPool pool(kWorkers);
+  std::atomic<std::int64_t> sum{0};
+  // Mixed task durations force the fast workers to drain their round-robin
+  // share and steal the slow workers' backlog.
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&sum, i] {
+      if (i % 16 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(TsanStressTest, TaskPoolCrossThreadSubmission) {
+  pipeline::TaskPool pool(kWorkers);
+  std::atomic<int> executed{0};
+  // submit() from several external threads at once races the round-robin
+  // cursor, the wake counters and the per-worker queues against the
+  // workers' own pops and steals.
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), 3 * kTasks);
+}
+
+TEST(TsanStressTest, TaskPoolRepeatedDrainCycles) {
+  pipeline::TaskPool pool(kWorkers);
+  std::atomic<int> executed{0};
+  // wait_idle() must be reusable: each cycle races the idle notification
+  // against the next cycle's submissions.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(executed.load(), 50 * 20);
+}
+
+TEST(TsanStressTest, WatchdogArmDisarmChurnWithMidTaskCancellation) {
+  pipeline::DeadlineWatchdog watchdog;
+  pipeline::TaskPool pool(kWorkers);
+  std::atomic<int> cancelled{0};
+  std::atomic<int> completed{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&watchdog, &cancelled, &completed, i] {
+      pipeline::CancelToken token;
+      // Alternate between deadlines that fire mid-task and deadlines a
+      // task outruns, so the watchdog's scan loop races both the polling
+      // below and the disarm on scope exit.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          (i % 2 == 0 ? std::chrono::microseconds(50)
+                      : std::chrono::seconds(60));
+      watchdog.arm(&token, deadline);
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+      while (!token.cancelled() &&
+             std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::yield();
+      }
+      if (token.cancelled()) {
+        cancelled.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      watchdog.disarm(&token);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(cancelled.load() + completed.load(), kTasks);
+  // The short-deadline half must actually have been cancelled by the
+  // watchdog (the 20ms give-up is 100x the 50us deadline).
+  EXPECT_GE(cancelled.load(), kTasks / 2);
+}
+
+TEST(TsanStressTest, JournalWriterConcurrentAppends) {
+  const fs::path dir =
+      fs::temp_directory_path() / "ordo_tsan_journal_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "journal.jsonl").string();
+  const pipeline::JournalKey key{kTasks, 0x5eedu};
+  {
+    pipeline::JournalWriter writer(path, key);
+    pipeline::TaskPool pool(kWorkers);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&writer, i] {
+        MeasurementRow row;
+        row.group = "tsan";
+        row.name = "m" + std::to_string(i);
+        row.orderings.resize(7);
+        MatrixStudyRows rows;
+        rows[{"machine", SpmvKernel::k1D}] = row;
+        writer.append({i, rows});
+      });
+    }
+    pool.wait_idle();
+  }
+  // Every line must have landed whole: the loader stops at the first
+  // corrupt record, so a torn interleaved write would truncate the replay.
+  const std::vector<pipeline::JournalRecord> records =
+      pipeline::load_journal(path, key);
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(kTasks));
+  fs::remove_all(dir);
+}
+
+TEST(TsanStressTest, MetricsRegistryConcurrentRegistrationAndDumps) {
+  pipeline::TaskPool pool(kWorkers);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([i] {
+      // A handful of shared names (first-toucher registers, everyone else
+      // looks up) plus per-task histogram records and gauge stores.
+      obs::counter("tsan.counter." + std::to_string(i % 5)).increment();
+      obs::gauge("tsan.gauge").set(static_cast<double>(i));
+      obs::histogram("tsan.histogram").record(static_cast<double>(i));
+      if (i % 32 == 0) {
+        // Dumps walk the whole registry while other threads mutate it.
+        std::ostringstream sink;
+        obs::write_metrics_json(sink);
+      }
+    });
+  }
+  pool.wait_idle();
+  std::int64_t total = 0;
+  for (int k = 0; k < 5; ++k) {
+    total += obs::counter("tsan.counter." + std::to_string(k)).value();
+  }
+  EXPECT_EQ(total, kTasks);
+  EXPECT_EQ(obs::histogram("tsan.histogram").snapshot().count, kTasks);
+}
+
+TEST(TsanStressTest, TraceSpansOverlappedWithCollection) {
+  obs::set_tracing_enabled(true);
+  obs::clear_trace();
+  std::atomic<bool> stop{false};
+  // Collector thread snapshots and clears while workers record: the exact
+  // interleaving TSan found racy in the original per-thread buffers.
+  std::thread collector([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)obs::collect_trace();
+      obs::clear_trace();
+      std::this_thread::yield();
+    }
+  });
+  {
+    pipeline::TaskPool pool(kWorkers);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([i] {
+        obs::Span outer("tsan/outer/" + std::to_string(i % 7));
+        obs::Span inner("tsan/inner");
+      });
+    }
+    pool.wait_idle();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  collector.join();
+  // Workers joined, collector stopped: everything still buffered is visible.
+  obs::set_tracing_enabled(false);
+  obs::clear_trace();
+}
+
+}  // namespace
+}  // namespace ordo
