@@ -15,14 +15,18 @@
 //   ORDO_TRACE         path: write a Chrome trace_event JSON at exit
 //   ORDO_METRICS       metrics JSON path (default ordo_metrics.json)
 //   ORDO_PROFILE       set to 1 for observed per-thread kernel profiles
+//   ORDO_KERNELS       comma-separated engine kernel ids swept in addition
+//                      to the studied csr_1d,csr_2d pair (= --kernels)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/stats.hpp"
+#include "engine/engine.hpp"
 #include "obs/obs.hpp"
 
 namespace ordo::bench {
@@ -42,23 +46,81 @@ inline void init_observability() {
   (void)initialized;
 }
 
+/// Splits a comma-separated kernel-id list ("merge,transpose").
+inline std::vector<std::string> parse_kernel_list(const char* list) {
+  std::vector<std::string> kernels;
+  std::string id;
+  for (const char* p = list;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!id.empty()) kernels.push_back(id);
+      id.clear();
+      if (*p == '\0') break;
+    } else {
+      id += *p;
+    }
+  }
+  return kernels;
+}
+
+/// Prints the engine's registered kernels with their capability flags.
+inline void print_kernel_table(std::FILE* out) {
+  std::fprintf(out, "registered kernels:\n");
+  for (const std::string& id : engine::kernel_ids()) {
+    const engine::KernelDesc& desc = engine::kernel(id);
+    std::string flags;
+    if (!desc.caps.parallel) flags += " serial";
+    if (!desc.caps.deterministic) flags += " nondeterministic";
+    if (desc.caps.needs_symmetric) flags += " needs-symmetric";
+    if (desc.caps.transposed_output) flags += " transposed-output";
+    if (flags.empty()) flags = " -";
+    std::fprintf(out, "  %-16s %-12s%s\n    %s\n", id.c_str(),
+                 desc.display_name.c_str(), flags.c_str(),
+                 desc.summary.c_str());
+  }
+}
+
 inline StudyOptions study_options_from_env() {
   StudyOptions options;
   options.model = model_options_from_env();
   options.verbose = std::getenv("ORDO_VERBOSE") != nullptr;
+  if (const char* kernels = std::getenv("ORDO_KERNELS")) {
+    options.kernels = parse_kernel_list(kernels);
+  }
   return options;
 }
 
 /// Loads (or computes and caches) the full study shared by all benches.
-inline StudyResults shared_study() {
+/// The (argc, argv) overload lets every figure/table harness accept
+/// --kernels LIST and --list-kernels; unrecognised arguments abort with a
+/// message rather than being silently swallowed.
+inline StudyResults shared_study(int argc, char** argv) {
   init_observability();
+  StudyOptions options = study_options_from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--kernels" && i + 1 < argc) {
+      for (std::string& id : parse_kernel_list(argv[++i])) {
+        options.kernels.push_back(std::move(id));
+      }
+    } else if (arg == "--list-kernels") {
+      print_kernel_table(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown argument %s (supported: --kernels LIST, "
+                   "--list-kernels)\n",
+                   argv[0], arg.c_str());
+      std::exit(2);
+    }
+  }
   const CorpusOptions corpus = corpus_options_from_env();
   std::fprintf(stderr,
                "ordo: using corpus of %d matrices (scale %.2f); cache dir %s\n",
                corpus.count, corpus.scale, default_results_dir().c_str());
-  return load_or_run_study(default_results_dir(), corpus,
-                           study_options_from_env());
+  return load_or_run_study(default_results_dir(), corpus, options);
 }
+
+inline StudyResults shared_study() { return shared_study(0, nullptr); }
 
 /// Formats a five-point box summary like the paper's boxplot captions.
 inline void print_box(const char* label, const BoxStats& stats) {

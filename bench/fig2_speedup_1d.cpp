@@ -9,8 +9,8 @@
 
 using namespace ordo;
 
-int main() {
-  const StudyResults results = bench::shared_study();
+int main(int argc, char** argv) {
+  const StudyResults results = bench::shared_study(argc, argv);
   const auto reorderings = table1_orderings();
 
   std::printf("Figure 2: 1D SpMV speedup after reordering (boxes over the corpus)\n");

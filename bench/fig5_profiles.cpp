@@ -35,8 +35,8 @@ void print_profiles(const char* title,
 
 }  // namespace
 
-int main() {
-  const StudyResults results = bench::shared_study();
+int main(int argc, char** argv) {
+  const StudyResults results = bench::shared_study(argc, argv);
   const auto& rows = results.at({"Milan B", SpmvKernel::k1D});
   const auto kinds = study_orderings();
 

@@ -3,8 +3,8 @@
 
 using namespace ordo;
 
-int main() {
-  const StudyResults results = bench::shared_study();
+int main(int argc, char** argv) {
+  const StudyResults results = bench::shared_study(argc, argv);
   const auto reorderings = table1_orderings();
 
   std::printf("Table 3: geometric-mean speedup, 1D kernel\n\n");

@@ -1,11 +1,17 @@
 // Full-study driver CLI: generates the corpus, runs the complete sweep
-// (7 orderings x 8 machines x 2 kernels) on the pipeline scheduler and
+// (7 orderings x 8 machines x the kernel set) on the pipeline scheduler and
 // writes the artifact-style result files — the programmatic entry point
 // behind every figure/table bench, exposed as a standalone tool.
 //
 //   ./run_study [--count N] [--scale S] [--out DIR] [--seed K] [--jobs N]
 //               [--task-timeout S] [--resume|--no-resume] [--verbose]
-//               [--log quiet|progress|debug]
+//               [--log quiet|progress|debug] [--kernels id,id,...]
+//               [--list-kernels] [--allow-nondeterministic]
+//
+// The kernel set defaults to the studied csr_1d/csr_2d pair; --kernels
+// extends it with any ids registered in ordo::engine (--list-kernels shows
+// them). The pair's result files keep the artifact's exact names and
+// format; extra kernels are written as additional files.
 //
 // The sweep checkpoints one JSON line per completed matrix into
 // <out>/study_journal.jsonl; an interrupted run restarted with the same
@@ -19,12 +25,42 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "engine/engine.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/study_pipeline.hpp"
 
 using namespace ordo;
 
 namespace {
+
+void append_kernel_list(std::vector<std::string>& kernels, const char* list) {
+  std::string id;
+  for (const char* p = list;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!id.empty()) kernels.push_back(id);
+      id.clear();
+      if (*p == '\0') break;
+    } else {
+      id += *p;
+    }
+  }
+}
+
+void print_kernel_table(std::FILE* out) {
+  std::fprintf(out, "registered kernels:\n");
+  for (const std::string& id : engine::kernel_ids()) {
+    const engine::KernelDesc& desc = engine::kernel(id);
+    std::string flags;
+    if (!desc.caps.parallel) flags += " serial";
+    if (!desc.caps.deterministic) flags += " nondeterministic";
+    if (desc.caps.needs_symmetric) flags += " needs-symmetric";
+    if (desc.caps.transposed_output) flags += " transposed-output";
+    if (flags.empty()) flags = " -";
+    std::fprintf(out, "  %-16s %-12s%s\n    %s\n", id.c_str(),
+                 desc.display_name.c_str(), flags.c_str(),
+                 desc.summary.c_str());
+  }
+}
 
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
@@ -47,6 +83,16 @@ void print_usage(std::FILE* out, const char* argv0) {
                "interrupted run (default)\n"
                "  --no-resume        ignore any existing journal and "
                "recompute every matrix\n"
+               "  --kernels LIST     comma-separated engine kernel ids swept "
+               "in addition to the\n"
+               "                     studied csr_1d,csr_2d pair (see "
+               "--list-kernels)\n"
+               "  --list-kernels     print the registered kernels and exit\n"
+               "  --allow-nondeterministic\n"
+               "                     permit kernels marked deterministic=false "
+               "in a checkpointed\n"
+               "                     sweep (their rows are not byte-reproducible "
+               "on resume)\n"
                "  --verbose          shorthand for --log progress\n"
                "  --log LEVEL        quiet|progress|debug (default quiet, or "
                "ORDO_LOG)\n"
@@ -85,6 +131,13 @@ int main(int argc, char** argv) {
       study.resume = true;
     } else if (arg == "--no-resume") {
       study.resume = false;
+    } else if (arg == "--kernels") {
+      append_kernel_list(study.kernels, next());
+    } else if (arg == "--list-kernels") {
+      print_kernel_table(stdout);
+      return 0;
+    } else if (arg == "--allow-nondeterministic") {
+      study.allow_nondeterministic = true;
     } else if (arg == "--verbose") {
       study.verbose = true;
     } else if (arg == "--log") {
@@ -115,6 +168,16 @@ int main(int argc, char** argv) {
                   corpus.count - static_cast<int>(rows.size()), out_dir.c_str(),
                   pipeline::kFailuresFilename);
     }
+  }
+
+  const engine::PlanCache::Stats cache = engine::plan_cache().stats();
+  if (cache.lookups() > 0) {
+    std::printf(
+        "\nengine plan cache: %lld hits / %lld lookups (%.1f%% hit rate, "
+        "%lld evictions)\n",
+        static_cast<long long>(cache.hits),
+        static_cast<long long>(cache.lookups()), 100.0 * cache.hit_rate(),
+        static_cast<long long>(cache.evictions));
   }
   obs::finalize();
   return 0;

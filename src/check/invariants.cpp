@@ -15,6 +15,7 @@ const char* violation_kind_name(ViolationKind kind) {
     case ViolationKind::kPartition: return "partition";
     case ViolationKind::kOrdering: return "ordering";
     case ViolationKind::kCholesky: return "cholesky";
+    case ViolationKind::kPlan: return "plan";
   }
   return "?";
 }
@@ -195,6 +196,86 @@ void validate_elimination_tree_raw(std::span<const index_t> parent,
       report_violation(ViolationKind::kCholesky, where,
                        "etree parent of column " + std::to_string(j) +
                            " must be -1 or in (j, n)");
+    }
+  }
+}
+
+void validate_thread_partition_raw(index_t num_rows,
+                                   std::span<const offset_t> row_ptr,
+                                   ThreadPartitionKind kind,
+                                   std::span<const index_t> row_begin,
+                                   std::span<const offset_t> nnz_begin,
+                                   const std::string& where) {
+  const ViolationKind violation = ViolationKind::kPlan;
+  if (num_rows < 0 ||
+      row_ptr.size() != static_cast<std::size_t>(num_rows) + 1) {
+    report_violation(violation, where, "row_ptr size must be num_rows + 1");
+  }
+  if (row_begin.size() != nnz_begin.size() || nnz_begin.size() < 2) {
+    report_violation(violation, where,
+                     "row_begin and nnz_begin must both have threads + 1 "
+                     "entries (threads >= 1)");
+  }
+  const offset_t nnz = row_ptr.back();
+  if (nnz_begin.front() != 0 || nnz_begin.back() != nnz) {
+    report_violation(violation, where,
+                     "nonzero boundaries must run from 0 to nnz");
+  }
+  const std::size_t boundaries = nnz_begin.size();
+  for (std::size_t t = 1; t < boundaries; ++t) {
+    if (nnz_begin[t - 1] > nnz_begin[t] || row_begin[t - 1] > row_begin[t]) {
+      report_violation(violation, where,
+                       "thread boundaries must be nondecreasing (boundary " +
+                           std::to_string(t) + ")");
+    }
+  }
+  const bool full_row_span = kind != ThreadPartitionKind::kNnzSplit;
+  if (full_row_span &&
+      (row_begin.front() != 0 || row_begin.back() != num_rows)) {
+    report_violation(violation, where,
+                     "row boundaries must run from 0 to num_rows");
+  }
+  for (std::size_t t = 0; t < boundaries; ++t) {
+    const index_t row = row_begin[t];
+    if (row < 0 || row > num_rows) {
+      report_violation(violation, where,
+                       "row boundary out of range (boundary " +
+                           std::to_string(t) + ")");
+    }
+    switch (kind) {
+      case ThreadPartitionKind::kRowBlocks:
+        if (nnz_begin[t] != row_ptr[static_cast<std::size_t>(row)]) {
+          report_violation(violation, where,
+                           "nonzero boundary must coincide with the start of "
+                           "its row (boundary " +
+                               std::to_string(t) + ")");
+        }
+        break;
+      case ThreadPartitionKind::kNnzSplit:
+        if (num_rows > 0 && row >= num_rows) {
+          report_violation(violation, where,
+                           "boundary row must be an existing row (boundary " +
+                               std::to_string(t) + ")");
+        }
+        [[fallthrough]];
+      case ThreadPartitionKind::kMergePath:
+        // The boundary nonzero must lie inside (or at the exclusive end of)
+        // its boundary row: row_ptr[row] <= nnz_begin[t] <= row_ptr[row+1].
+        if (row < num_rows &&
+            (nnz_begin[t] < row_ptr[static_cast<std::size_t>(row)] ||
+             nnz_begin[t] > row_ptr[static_cast<std::size_t>(row) + 1])) {
+          report_violation(violation, where,
+                           "boundary nonzero lies outside its boundary row "
+                           "(boundary " +
+                               std::to_string(t) + ")");
+        }
+        if (row == num_rows && nnz_begin[t] != nnz) {
+          report_violation(violation, where,
+                           "a boundary at the row end must sit at nnz "
+                           "(boundary " +
+                               std::to_string(t) + ")");
+        }
+        break;
     }
   }
 }

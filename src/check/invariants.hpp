@@ -40,6 +40,7 @@ enum class ViolationKind {
   kPartition,    ///< inconsistent partition assignment or metrics
   kOrdering,     ///< malformed reordering result
   kCholesky,     ///< malformed elimination tree / factor counts
+  kPlan,         ///< malformed engine plan thread-partition
 };
 
 /// Counter suffix and log tag for a violation class ("csr", "permutation",
@@ -103,6 +104,29 @@ void validate_adjacency_raw(index_t num_vertices,
 /// Elimination-tree invariant: parent[j] is -1 or strictly greater than j
 /// (columns are eliminated in order, so parents always come later).
 void validate_elimination_tree_raw(std::span<const index_t> parent,
+                                   const std::string& where);
+
+/// How an engine plan's thread-partition assigns rows — mirrors
+/// ordo::engine::RowAssignment without depending on the engine layer
+/// (check/ sits below engine/; the engine translates at its seam).
+enum class ThreadPartitionKind {
+  kRowBlocks,  ///< nonzero boundaries coincide with row starts
+  kNnzSplit,   ///< row_begin[t] is the row containing nonzero nnz_begin[t]
+  kMergePath,  ///< full row span, boundaries may fall mid-row
+};
+
+/// Engine-plan invariants: row_begin and nnz_begin have the same length
+/// (>= 2, i.e. at least one thread), both are monotone, nnz boundaries run
+/// from 0 to nnz, and per `kind` either nonzero boundaries align with row
+/// starts (kRowBlocks), every boundary nonzero lies inside its boundary row
+/// (kNnzSplit / kMergePath), and — for the full-row-span kinds — row
+/// boundaries run from 0 to num_rows. `row_ptr` is the matrix's row
+/// pointer the plan was prepared from (num_rows + 1 entries).
+void validate_thread_partition_raw(index_t num_rows,
+                                   std::span<const offset_t> row_ptr,
+                                   ThreadPartitionKind kind,
+                                   std::span<const index_t> row_begin,
+                                   std::span<const offset_t> nnz_begin,
                                    const std::string& where);
 
 }  // namespace ordo::check

@@ -6,6 +6,7 @@
 #include "pipeline/journal.hpp"
 #include "pipeline/study_pipeline.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -16,12 +17,15 @@
 namespace ordo {
 namespace {
 
-OrderingMeasurement to_measurement(const SpmvEstimate& estimate) {
+// The per-thread work columns come from the engine plan (the partition the
+// execution layer actually runs); the timing columns from the model.
+OrderingMeasurement to_measurement(const SpmvEstimate& estimate,
+                                   const engine::ThreadWork& work) {
   OrderingMeasurement m;
-  m.min_thread_nnz = estimate.min_thread_nnz;
-  m.max_thread_nnz = estimate.max_thread_nnz;
-  m.mean_thread_nnz = estimate.mean_thread_nnz;
-  m.imbalance = estimate.imbalance;
+  m.min_thread_nnz = work.min_nnz;
+  m.max_thread_nnz = work.max_nnz;
+  m.mean_thread_nnz = work.mean_nnz;
+  m.imbalance = work.imbalance;
   m.seconds = estimate.seconds;
   m.gflops_max = estimate.gflops;
   // The artifact reports both the best of 100 runs and the mean of the warm
@@ -39,6 +43,22 @@ std::string sanitize(std::string s) {
 }
 
 }  // namespace
+
+std::vector<SpmvKernel> study_kernels(const StudyOptions& options) {
+  std::vector<SpmvKernel> kernels = {SpmvKernel::k1D, SpmvKernel::k2D};
+  for (const std::string& id : options.kernels) {
+    const engine::KernelDesc& desc = engine::kernel(id);  // throws on unknown
+    require(!desc.caps.needs_symmetric,
+            "study_kernels: kernel '" + id +
+                "' requires symmetric lower-triangle storage, but the study "
+                "corpus stores matrices in full");
+    SpmvKernel kernel(id);
+    if (std::find(kernels.begin(), kernels.end(), kernel) == kernels.end()) {
+      kernels.push_back(std::move(kernel));
+    }
+  }
+  return kernels;
+}
 
 std::vector<double> reordering_speedups(const MeasurementRow& row) {
   require(row.orderings.size() == 7,
@@ -59,6 +79,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
 
   const auto& machines = table2_architectures();
   const auto kinds = study_orderings();
+  const std::vector<SpmvKernel> kernels = study_kernels(options);
   const std::atomic<bool>* cancel = options.reorder.cancel;
 
   // Arch-independent orderings, computed once. The GP ordering matches the
@@ -148,7 +169,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
   MatrixStudyRows rows;
   for (const Architecture& arch : machines) {
     poll_cancelled(cancel, "run_matrix_study");
-    for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+    for (const SpmvKernel& kernel : kernels) {
       obs::Span eval_span("model/" + arch.name + "/" +
                           spmv_kernel_name(kernel));
       MeasurementRow row;
@@ -160,10 +181,19 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
       row.threads = arch.cores;
       for (std::size_t k = 0; k < kinds.size(); ++k) {
         const OrderingKind kind = kinds[k];
+        const CsrMatrix& matrix = kind == OrderingKind::kGp
+                                      ? gp_by_cores.at(arch.cores)
+                                      : reordered.at(kind);
         const SpmvModel& model = kind == OrderingKind::kGp
                                      ? gp_models.at(arch.cores)
                                      : models.at(kind);
-        OrderingMeasurement m = to_measurement(model.estimate(kernel, arch));
+        // The plan (shared through the engine's cache with the model's own
+        // lookup below and with every same-core-count machine) supplies the
+        // per-thread work columns; the model prices it.
+        const auto plan = engine::prepare_plan(matrix, kernel, arch.cores);
+        OrderingMeasurement m =
+            to_measurement(model.estimate(kernel, arch),
+                           engine::thread_work(plan->partition));
         const auto& bp = kind == OrderingKind::kGp
                              ? gp_band_profile.at(arch.cores)
                              : band_profile.at(kind);
@@ -207,12 +237,11 @@ StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
   return std::move(report.results);
 }
 
-std::string results_filename(SpmvKernel kernel, const Architecture& arch,
+std::string results_filename(const SpmvKernel& kernel, const Architecture& arch,
                              int corpus_count) {
   std::ostringstream name;
-  name << "csr_" << sanitize(spmv_kernel_name(kernel)) << '_'
-       << sanitize(arch.name) << '_' << arch.cores << "_threads_ss"
-       << corpus_count << ".txt";
+  name << sanitize(kernel.id()) << '_' << sanitize(arch.name) << '_'
+       << arch.cores << "_threads_ss" << corpus_count << ".txt";
   return name.str();
 }
 
@@ -277,10 +306,11 @@ StudyResults load_or_run_study(const std::string& dir,
                                const StudyOptions& options) {
   namespace fs = std::filesystem;
   const auto& machines = table2_architectures();
+  const std::vector<SpmvKernel> kernels = study_kernels(options);
 
   bool all_cached = true;
   for (const Architecture& arch : machines) {
-    for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+    for (const SpmvKernel& kernel : kernels) {
       if (!fs::exists(fs::path(dir) /
                       results_filename(kernel, arch, corpus_options.count))) {
         all_cached = false;
@@ -295,7 +325,7 @@ StudyResults load_or_run_study(const std::string& dir,
     obs::logf(obs::LogLevel::kProgress, "loading cached study from %s",
               dir.c_str());
     for (const Architecture& arch : machines) {
-      for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+      for (const SpmvKernel& kernel : kernels) {
         results[{arch.name, kernel}] = read_results_file(
             (fs::path(dir) / results_filename(kernel, arch,
                                               corpus_options.count))
@@ -324,7 +354,7 @@ StudyResults load_or_run_study(const std::string& dir,
   ORDO_SCOPE("study/write_cache");
   fs::create_directories(dir);
   for (const Architecture& arch : machines) {
-    for (SpmvKernel kernel : {SpmvKernel::k1D, SpmvKernel::k2D}) {
+    for (const SpmvKernel& kernel : kernels) {
       write_results_file(
           (fs::path(dir) /
            results_filename(kernel, arch, corpus_options.count))

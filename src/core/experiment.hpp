@@ -73,7 +73,27 @@ struct StudyOptions {
   /// When a checkpoint journal for the same corpus and options exists,
   /// replay it instead of recomputing those matrices.
   bool resume = true;
+
+  // --- kernel set (see src/engine/) ---
+  /// Engine kernel ids swept in addition to the studied 1D/2D pair (the
+  /// pair is always included; duplicates are ignored). Each id must name a
+  /// registered kernel whose capabilities admit the study corpus — see
+  /// study_kernels().
+  std::vector<std::string> kernels;
+  /// Permit kernels whose descriptor declares deterministic = false (the
+  /// atomic-scatter transpose kernel) in checkpointed sweeps. Off by
+  /// default: nondeterministic float summation breaks the journal's
+  /// byte-identical resume guarantee, so the pipeline refuses such kernels
+  /// unless this is set (--allow-nondeterministic in run_study).
+  bool allow_nondeterministic = false;
 };
+
+/// The resolved kernel set of a sweep: the studied pair (always first, in
+/// study order) followed by options.kernels, deduplicated. Throws
+/// invalid_argument_error for unknown ids and for kernels whose
+/// capabilities the corpus cannot satisfy (needs_symmetric — the corpus
+/// stores matrices in full).
+std::vector<SpmvKernel> study_kernels(const StudyOptions& options);
 
 /// Results of the full sweep: rows[(machine name, kernel)] -> per-matrix rows.
 using StudyResults =
@@ -103,8 +123,10 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
 StudyResults run_full_study(const std::vector<CorpusEntry>& corpus,
                             const StudyOptions& options);
 
-/// Artifact-style result file name, e.g. "csr_1d_milan_b_128_threads_ss490.txt".
-std::string results_filename(SpmvKernel kernel, const Architecture& arch,
+/// Artifact-style result file name, e.g. "csr_1d_milan_b_128_threads_ss490.txt"
+/// (the sanitized kernel id, so the studied pair keeps the artifact's exact
+/// names and extra kernels get their own files, e.g. "merge_...").
+std::string results_filename(const SpmvKernel& kernel, const Architecture& arch,
                              int corpus_count);
 
 /// Writes rows in the artifact's whitespace-separated 54-column format.

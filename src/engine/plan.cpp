@@ -1,0 +1,36 @@
+#include "engine/plan.hpp"
+
+#include <algorithm>
+
+namespace ordo::engine {
+
+ThreadWork thread_work(const ThreadPartition& partition) {
+  ThreadWork work;
+  const int threads = partition.threads();
+  const offset_t nnz = partition.total_nnz();
+  if (threads <= 0 || nnz == 0) return work;
+  work.min_nnz = nnz;
+  for (int t = 0; t < threads; ++t) {
+    const offset_t thread_nnz =
+        partition.nnz_begin[static_cast<std::size_t>(t) + 1] -
+        partition.nnz_begin[static_cast<std::size_t>(t)];
+    work.min_nnz = std::min<std::int64_t>(work.min_nnz, thread_nnz);
+    work.max_nnz = std::max<std::int64_t>(work.max_nnz, thread_nnz);
+  }
+  work.mean_nnz = static_cast<double>(nnz) / threads;
+  work.imbalance = static_cast<double>(work.max_nnz) / work.mean_nnz;
+  return work;
+}
+
+std::vector<offset_t> nnz_per_thread(const ThreadPartition& partition) {
+  const int threads = std::max(partition.threads(), 0);
+  std::vector<offset_t> counts(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    counts[static_cast<std::size_t>(t)] =
+        partition.nnz_begin[static_cast<std::size_t>(t) + 1] -
+        partition.nnz_begin[static_cast<std::size_t>(t)];
+  }
+  return counts;
+}
+
+}  // namespace ordo::engine

@@ -1,0 +1,95 @@
+// ordo::engine — prepared execution plans.
+//
+// A Plan is the reusable preprocessing product of one (matrix, kernel,
+// thread-count) combination: the row split of the 1D kernel, the
+// NnzPartition of the 2D kernel, the MergePathPartition of the merge-path
+// kernel. Preparing it is the "inspector" phase of the inspector/executor
+// pattern (MKL's sparse handles, Merrill & Garland's merge-path setup): pay
+// the partitioning cost once, then execute y = A·x against the plan as many
+// times as the study or solver needs — exactly the amortised-preprocessing
+// methodology of the paper's Section 3.1.
+//
+// Every plan, whatever its kernel, exposes a uniform ThreadPartition (the
+// per-thread row/nonzero boundaries). That view is what the performance
+// model consumes instead of recomputing partitions per evaluation, and what
+// the experiment layer derives the per-thread work columns of the artifact
+// format from.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace ordo::engine {
+
+/// How a kernel's ThreadPartition assigns rows to threads — this decides
+/// both which invariants the plan validator enforces and how the
+/// performance model derives each thread's row span.
+enum class RowAssignment {
+  /// Contiguous row blocks; nonzero boundaries coincide with row starts
+  /// (1D kernel, row-parallel transpose). Thread t owns rows
+  /// [row_begin[t], row_begin[t+1]).
+  kRowBlocks,
+  /// Even nonzero split; row_begin[t] is the row *containing* boundary
+  /// nonzero nnz_begin[t], so boundary rows are shared between threads
+  /// (2D kernel). The row span is derived from the nonzero range.
+  kNnzSplit,
+  /// Merge-path split over (rows + nonzeros); row_begin covers the whole
+  /// row space like kRowBlocks, but boundaries may fall mid-row like
+  /// kNnzSplit (merge-path kernel).
+  kMergePath,
+};
+
+/// Uniform per-thread work boundaries of a prepared plan: threads+1 entries
+/// in both row and nonzero space; thread t owns nonzeros
+/// [nnz_begin[t], nnz_begin[t+1]).
+struct ThreadPartition {
+  RowAssignment assignment = RowAssignment::kRowBlocks;
+  std::vector<index_t> row_begin;
+  std::vector<offset_t> nnz_begin;
+
+  int threads() const { return static_cast<int>(nnz_begin.size()) - 1; }
+  offset_t total_nnz() const {
+    return nnz_begin.empty() ? 0 : nnz_begin.back() - nnz_begin.front();
+  }
+};
+
+/// Per-thread nonzero-count summary — the min/max/mean/imbalance columns of
+/// the artifact's result format, computed from the plan rather than by the
+/// performance model.
+struct ThreadWork {
+  std::int64_t min_nnz = 0;
+  std::int64_t max_nnz = 0;
+  double mean_nnz = 0.0;
+  double imbalance = 1.0;
+};
+
+/// Summarises the nonzero distribution of `partition`. An empty partition
+/// (no nonzeros) reports zeros with imbalance 1, matching the model's
+/// convention for empty matrices.
+ThreadWork thread_work(const ThreadPartition& partition);
+
+/// Per-thread nonzero counts, one entry per thread.
+std::vector<offset_t> nnz_per_thread(const ThreadPartition& partition);
+
+/// Base class for kernel-specific preprocessing products a descriptor hangs
+/// off its plans (the 2D kernel's NnzPartition, the merge kernel's
+/// MergePathPartition). Descriptors downcast their own state in execute().
+struct PlanState {
+  virtual ~PlanState() = default;
+};
+
+/// A prepared plan: the unit the plan cache stores and execute() consumes.
+/// Plans hold no reference to the matrix they were prepared for — the
+/// matrix is passed again at execution, and the cache key ties the plan to
+/// the row structure it was derived from.
+struct Plan {
+  std::string kernel;  ///< registry id of the kernel this plan belongs to
+  int threads = 1;     ///< thread count the plan was prepared for
+  ThreadPartition partition;
+  std::shared_ptr<const PlanState> state;  ///< kernel-specific product
+};
+
+}  // namespace ordo::engine

@@ -1,0 +1,126 @@
+#include "engine/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "check/invariants.hpp"
+#include "obs/metrics.hpp"
+
+namespace ordo {
+
+const SpmvKernel SpmvKernel::k1D{"csr_1d"};
+const SpmvKernel SpmvKernel::k2D{"csr_2d"};
+
+std::string spmv_kernel_name(const SpmvKernel& kernel) {
+  if (const engine::KernelDesc* desc = engine::find_kernel(kernel.id())) {
+    return desc->display_name;
+  }
+  return kernel.id();
+}
+
+namespace engine {
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+// std::map: node-based, so KernelDesc references handed out by kernel() /
+// find_kernel() stay valid as later registrations land.
+std::map<std::string, KernelDesc>& registry_map() {
+  static std::map<std::string, KernelDesc> map;
+  return map;
+}
+
+// check/ sits below engine/ in the layering, so the plan validator speaks
+// its own partition-kind enum; translate at the seam.
+[[maybe_unused]] check::ThreadPartitionKind to_check_kind(
+    RowAssignment assignment) {
+  switch (assignment) {
+    case RowAssignment::kNnzSplit:
+      return check::ThreadPartitionKind::kNnzSplit;
+    case RowAssignment::kMergePath:
+      return check::ThreadPartitionKind::kMergePath;
+    case RowAssignment::kRowBlocks:
+      break;
+  }
+  return check::ThreadPartitionKind::kRowBlocks;
+}
+
+// register_kernel() deliberately does NOT ensure builtins: the builtin hook
+// itself calls register_kernel(), and external KernelRegistrar statics may
+// run before any accessor. Only the lookup accessors force the builtins in,
+// exactly once.
+void ensure_builtins() {
+  static const bool once = [] {
+    register_builtin_kernels();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+void register_kernel(KernelDesc desc) {
+  require(!desc.id.empty(), "register_kernel: empty kernel id");
+  require(desc.prepare != nullptr && desc.execute != nullptr,
+          "register_kernel: kernel '" + desc.id +
+              "' must provide both prepare and execute");
+  if (desc.display_name.empty()) desc.display_name = desc.id;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const bool inserted =
+      registry_map().emplace(desc.id, std::move(desc)).second;
+  require(inserted, "register_kernel: duplicate kernel id '" + desc.id + "'");
+  ORDO_COUNTER_ADD("engine.kernels.registered", 1);
+}
+
+const KernelDesc* find_kernel(const std::string& id) {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry_map().find(id);
+  return it == registry_map().end() ? nullptr : &it->second;
+}
+
+const KernelDesc& kernel(const std::string& id) {
+  if (const KernelDesc* desc = find_kernel(id)) return *desc;
+  std::ostringstream message;
+  message << "engine: unknown kernel id '" << id << "' (registered:";
+  for (const std::string& known : kernel_ids()) message << ' ' << known;
+  message << ')';
+  throw invalid_argument_error(message.str());
+}
+
+std::vector<std::string> kernel_ids() {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> ids;
+  ids.reserve(registry_map().size());
+  for (const auto& [id, desc] : registry_map()) ids.push_back(id);
+  return ids;  // std::map iteration order is already sorted
+}
+
+Plan prepare(const CsrMatrix& a, const std::string& id, int threads) {
+  require(threads >= 1, "engine::prepare: threads must be >= 1");
+  const KernelDesc& desc = kernel(id);
+  Plan plan = desc.prepare(a, threads);
+  plan.kernel = desc.id;
+  ORDO_COUNTER_ADD("engine.plans.prepared", 1);
+  ORDO_CHECK(validate_thread_partition_raw(
+      a.num_rows(), a.row_ptr(), to_check_kind(plan.partition.assignment),
+      plan.partition.row_begin, plan.partition.nnz_begin,
+      "engine::prepare(" + desc.id + ")"));
+  return plan;
+}
+
+void execute(const Plan& plan, const CsrMatrix& a, std::span<const value_t> x,
+             std::span<value_t> y) {
+  const KernelDesc& desc = kernel(plan.kernel);
+  desc.execute(plan, a, x, y);
+}
+
+}  // namespace engine
+}  // namespace ordo

@@ -21,10 +21,6 @@ index_t scaled_capacity_lines(double bytes, double scale) {
 
 }  // namespace
 
-std::string spmv_kernel_name(SpmvKernel kernel) {
-  return kernel == SpmvKernel::k1D ? "1D" : "2D";
-}
-
 ModelOptions model_options_from_env() {
   ModelOptions options;
   if (const char* scale = std::getenv("ORDO_CACHE_SCALE")) {
@@ -57,13 +53,21 @@ SpmvModel::SpmvModel(const CsrMatrix& a, const ModelOptions& options)
   }
 }
 
-SpmvEstimate SpmvModel::estimate(SpmvKernel kernel,
+SpmvEstimate SpmvModel::estimate(const SpmvKernel& kernel,
+                                 const Architecture& arch) const {
+  if (a_.num_nonzeros() == 0 || a_.num_rows() == 0) return SpmvEstimate{};
+  const std::shared_ptr<const engine::Plan> plan =
+      engine::prepare_plan(a_, kernel, arch.cores);
+  return estimate(*plan, arch);
+}
+
+SpmvEstimate SpmvModel::estimate(const engine::Plan& plan,
                                  const Architecture& arch) const {
   ORDO_COUNTER_ADD("model.evaluations", 1);
-  const int threads = arch.cores;
+  const int threads = plan.partition.threads();
   SpmvEstimate estimate;
   const offset_t nnz = a_.num_nonzeros();
-  if (nnz == 0 || a_.num_rows() == 0) return estimate;
+  if (nnz == 0 || a_.num_rows() == 0 || threads <= 0) return estimate;
 
   // Effective per-thread cache capacities (inclusive hierarchy, scaled).
   const double scale = options_.cache_scale;
@@ -76,27 +80,12 @@ SpmvEstimate SpmvModel::estimate(SpmvKernel kernel,
                                            arch.sockets / threads,
                                        scale);
 
-  // Thread boundaries in row and nonzero space.
+  // Thread boundaries in row and nonzero space come from the prepared plan.
   const auto row_ptr = a_.row_ptr();
-  std::vector<offset_t> nnz_begin(static_cast<std::size_t>(threads) + 1);
-  std::vector<index_t> row_begin(static_cast<std::size_t>(threads) + 1);
-  if (kernel == SpmvKernel::k1D) {
-    const std::vector<index_t> rows =
-        partition_rows_even(a_.num_rows(), threads);
-    for (int t = 0; t <= threads; ++t) {
-      row_begin[static_cast<std::size_t>(t)] =
-          rows[static_cast<std::size_t>(t)];
-      nnz_begin[static_cast<std::size_t>(t)] =
-          row_ptr[static_cast<std::size_t>(rows[static_cast<std::size_t>(t)])];
-    }
-  } else {
-    const NnzPartition partition = partition_nonzeros_even(a_, threads);
-    nnz_begin = partition.nnz_begin;
-    for (int t = 0; t <= threads; ++t) {
-      row_begin[static_cast<std::size_t>(t)] =
-          partition.row_of[static_cast<std::size_t>(t)];
-    }
-  }
+  const std::vector<offset_t>& nnz_begin = plan.partition.nnz_begin;
+  const std::vector<index_t>& row_begin = plan.partition.row_begin;
+  const bool full_row_span =
+      plan.partition.assignment != engine::RowAssignment::kNnzSplit;
 
   const double bw_per_thread =
       std::min(arch.bandwidth_gbs * 1e9 / threads,
@@ -128,13 +117,15 @@ SpmvEstimate SpmvModel::estimate(SpmvKernel kernel,
       }
     }
 
-    // Rows spanned and row-length transitions (branch behaviour). For the
-    // 2D kernel the span runs from the row containing the first nonzero to
-    // the row containing the last one — empty tail rows beyond the final
-    // nonzero belong to no thread's sweep (they are zero-filled separately).
+    // Rows spanned and row-length transitions (branch behaviour). Plans
+    // whose row boundaries cover the full row space (row blocks, merge
+    // path) expose the span directly; for the pure nonzero split the span
+    // runs from the row containing the first nonzero to the row containing
+    // the last one — empty tail rows beyond the final nonzero belong to no
+    // thread's sweep (they are zero-filled separately).
     const index_t r0 = row_begin[static_cast<std::size_t>(t)];
     index_t r1;
-    if (kernel == SpmvKernel::k1D) {
+    if (full_row_span) {
       r1 = row_begin[static_cast<std::size_t>(t) + 1];
     } else {
       const auto last = std::upper_bound(row_ptr.begin(), row_ptr.end(), k1 - 1);
@@ -181,7 +172,7 @@ SpmvEstimate SpmvModel::estimate(SpmvKernel kernel,
   return estimate;
 }
 
-SpmvEstimate estimate_spmv(const CsrMatrix& a, SpmvKernel kernel,
+SpmvEstimate estimate_spmv(const CsrMatrix& a, const SpmvKernel& kernel,
                            const Architecture& arch,
                            const ModelOptions& options) {
   return SpmvModel(a, options).estimate(kernel, arch);

@@ -18,19 +18,19 @@
 // imbalance bites) plus a parallel-region overhead. Cache capacities are
 // divided by ModelOptions::cache_scale so the scaled-down corpus retains the
 // paper's matrix-size/cache-size ratios (DESIGN.md, substitution table).
+//
+// The per-thread boundaries the cost loop walks come from the engine: the
+// model evaluates a prepared plan's ThreadPartition rather than recomputing
+// row/nonzero splits itself, so the partition it prices is — by
+// construction — the one the execution layer runs.
 #pragma once
 
+#include "engine/engine.hpp"
 #include "perfmodel/arch.hpp"
 #include "perfmodel/stack_distance.hpp"
 #include "sparse/csr.hpp"
 
 namespace ordo {
-
-/// The two kernels of Section 3.1.
-enum class SpmvKernel { k1D, k2D };
-
-/// Returns "1D" or "2D".
-std::string spmv_kernel_name(SpmvKernel kernel);
 
 struct ModelOptions {
   /// Cache capacities are divided by this factor (see header comment).
@@ -65,7 +65,16 @@ class SpmvModel {
                      const ModelOptions& options = ModelOptions{});
 
   /// Simulates one SpMV iteration of the given kernel on the given machine.
-  SpmvEstimate estimate(SpmvKernel kernel, const Architecture& arch) const;
+  /// The plan is fetched through the engine's plan cache for arch.cores
+  /// threads.
+  SpmvEstimate estimate(const SpmvKernel& kernel,
+                        const Architecture& arch) const;
+
+  /// Simulates one SpMV iteration against an already-prepared plan (must
+  /// have been prepared for the same matrix). This is the core evaluation;
+  /// the kernel-id overload is a cache lookup plus this.
+  SpmvEstimate estimate(const engine::Plan& plan,
+                        const Architecture& arch) const;
 
  private:
   const CsrMatrix& a_;
@@ -76,7 +85,7 @@ class SpmvModel {
 };
 
 /// One-shot convenience wrapper around SpmvModel.
-SpmvEstimate estimate_spmv(const CsrMatrix& a, SpmvKernel kernel,
+SpmvEstimate estimate_spmv(const CsrMatrix& a, const SpmvKernel& kernel,
                            const Architecture& arch,
                            const ModelOptions& options = ModelOptions{});
 

@@ -231,12 +231,6 @@ std::uint64_t fnv1a_pod(std::uint64_t hash, T value) {
 // Record serialization.
 // ---------------------------------------------------------------------------
 
-SpmvKernel parse_kernel(const std::string& name) {
-  if (name == spmv_kernel_name(SpmvKernel::k1D)) return SpmvKernel::k1D;
-  if (name == spmv_kernel_name(SpmvKernel::k2D)) return SpmvKernel::k2D;
-  throw invalid_argument_error("journal: unknown kernel " + name);
-}
-
 std::string encode_record(const JournalRecord& record) {
   std::string line;
   line.reserve(4096);
@@ -250,7 +244,7 @@ std::string encode_record(const JournalRecord& record) {
     line += "{\"machine\":";
     append_json_string(line, key.first);
     line += ",\"kernel\":";
-    append_json_string(line, spmv_kernel_name(key.second));
+    append_json_string(line, key.second.id());
     line += ",\"group\":";
     append_json_string(line, row.group);
     line += ",\"name\":";
@@ -298,7 +292,10 @@ JournalRecord decode_record(const std::string& line) {
   for (const JsonValue& pm : v.at("per_machine").items) {
     MeasurementRow row;
     const std::string machine = pm.at("machine").as_string();
-    const SpmvKernel kernel = parse_kernel(pm.at("kernel").as_string());
+    // Kernels are journaled by registry id; the header fingerprint hashes
+    // the sweep's kernel set, so a record can only carry ids this run
+    // resolves too.
+    const SpmvKernel kernel{pm.at("kernel").as_string()};
     row.group = pm.at("group").as_string();
     row.name = pm.at("name").as_string();
     row.rows = static_cast<index_t>(pm.at("rows").as_int());
@@ -366,6 +363,12 @@ JournalKey make_journal_key(const std::vector<CorpusEntry>& corpus,
   h = fnv1a_pod(h, options.reorder.nd_leaf_size);
   h = fnv1a_pod(h, options.reorder.sbd_leaf_rows);
   h = fnv1a_pod(h, options.reorder.seed);
+  // The resolved kernel set is part of the sweep's identity: a journal
+  // written for {csr_1d, csr_2d} must not be replayed into a sweep that
+  // also expects merge rows (and vice versa).
+  for (const SpmvKernel& kernel : study_kernels(options)) {
+    h = fnv1a_str(h, kernel.id());
+  }
   key.fingerprint = h;
   return key;
 }

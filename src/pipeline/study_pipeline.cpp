@@ -62,6 +62,24 @@ StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
   const auto& machines = table2_architectures();
   const std::size_t n = corpus.size();
 
+  // Resolve (and validate) the kernel set up front. Nondeterministic
+  // kernels are refused in checkpointed sweeps: the journal's guarantee is
+  // a byte-identical resume, and atomic-scatter float summation cannot
+  // reproduce its rows across runs.
+  const std::vector<SpmvKernel> kernels = study_kernels(options);
+  if (!options.checkpoint_dir.empty() && !options.allow_nondeterministic) {
+    for (const SpmvKernel& kernel : kernels) {
+      const engine::KernelDesc& desc = engine::kernel(kernel.id());
+      require(desc.caps.deterministic,
+              "pipeline: kernel '" + kernel.id() +
+                  "' is nondeterministic (" + desc.summary +
+                  "), which breaks the checkpoint journal's byte-identical "
+                  "resume guarantee; pass --allow-nondeterministic "
+                  "(StudyOptions::allow_nondeterministic) or disable "
+                  "checkpointing to sweep it anyway");
+    }
+  }
+
   StudyReport report;
   // One slot per matrix index: tasks fill their own slot, the merge walks
   // the slots in corpus order — result files come out byte-identical for
@@ -186,8 +204,9 @@ StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
   {
     ORDO_SCOPE("pipeline/merge");
     for (const Architecture& arch : machines) {
-      report.results[{arch.name, SpmvKernel::k1D}] = {};
-      report.results[{arch.name, SpmvKernel::k2D}] = {};
+      for (const SpmvKernel& kernel : kernels) {
+        report.results[{arch.name, kernel}] = {};
+      }
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (!slots[i]) continue;

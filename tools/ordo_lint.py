@@ -13,6 +13,10 @@ Rules (see docs/ARCHITECTURE.md "Correctness tooling" for rationale):
                  printf/std::cout/std::cerr console output: the library
                  reports through ordo::obs (snprintf/vsnprintf formatting
                  into buffers is fine).
+  omp            src/ only, src/engine/ and src/spmv/ exempt. No
+                 #pragma omp: OpenMP parallelism lives behind the engine's
+                 registered kernels — other layers consume prepared plans
+                 (engine::prepare_plan / engine::spmv), never raw threads.
   float-eq       src/ only. No == / != on floating-point values (float
                  literals, or identifiers declared double/float in the same
                  file). Use explicit tolerances — or suppress where exact
@@ -116,12 +120,19 @@ RANDOM_RE = re.compile(r"\bstd::random_device\b|(?<![\w:])s?rand\s*\(")
 THREAD_RE = re.compile(r"\bstd::thread\b")
 IO_RE = re.compile(
     r"\bstd::c(?:out|err|log)\b|(?<![\w:])(?:f|v|vf)?printf\s*\(|(?<![\w:])f?puts\s*\(")
+OMP_RE = re.compile(r"#\s*pragma\s+omp\b")
 
 
 def io_exempt(relpath):
     if relpath.startswith(os.path.join("src", "obs") + os.sep):
         return True
     return os.path.basename(relpath).startswith("gnuplot.")
+
+
+def omp_exempt(relpath):
+    return relpath.startswith(
+        (os.path.join("src", "engine") + os.sep,
+         os.path.join("src", "spmv") + os.sep))
 
 
 # --- float-eq --------------------------------------------------------------
@@ -238,6 +249,11 @@ def lint_file(path):
                 check(lineno, "io", IO_RE.search(code),
                       "console I/O in library code — report through "
                       "ordo::obs (logf/metrics)")
+            if not omp_exempt(relpath):
+                check(lineno, "omp", OMP_RE.search(code),
+                      "#pragma omp outside src/engine/ and src/spmv/ — "
+                      "consume a prepared engine plan instead of spawning "
+                      "threads")
             check(lineno, "float-eq", float_eq_violations(code, float_names),
                   "floating-point == / != — compare with a tolerance, or "
                   "suppress where exact equality is the contract")
@@ -300,6 +316,11 @@ void report(double x) {
   double y = x;
   if (y != x) return;
 }
+
+void scale(std::vector<double>& v) {
+#pragma omp parallel for
+  for (auto& x : v) x *= 2.0;
+}
 """
 
 SEEDED_SUPPRESSED = """\
@@ -339,7 +360,8 @@ def self_test():
             REPO_ROOT = saved_root
 
         fired = {v.rule for v in bad_violations}
-        for rule in ("random", "thread", "io", "float-eq", "include-order"):
+        for rule in ("random", "thread", "io", "omp", "float-eq",
+                     "include-order"):
             if rule not in fired:
                 failures.append(f"rule '{rule}' did not fire on seeded code")
         if "pragma-once" not in {v.rule for v in hdr_violations}:
