@@ -9,7 +9,7 @@
 using namespace ordo;
 
 int main() {
-  bench::init_observability();
+  bench::init_observability("ablation_block_fill");
   const double scale = corpus_options_from_env().scale;
   const std::vector<std::pair<std::string, int>> cases = {
       {"audikw_1", 3}, {"Flan_1565", 3}, {"HV15R", 4}};

@@ -8,7 +8,7 @@
 using namespace ordo;
 
 int main() {
-  bench::init_observability();
+  bench::init_observability("ablation_gp_parts");
   const ModelOptions model = model_options_from_env();
   const double scale = corpus_options_from_env().scale;
   const Architecture& arch = architecture_by_name("Milan B");

@@ -46,6 +46,17 @@ inline void init_observability() {
   (void)initialized;
 }
 
+/// init_observability plus the harness's bench-report identity: names the
+/// schema-versioned BENCH_<name>.json every bench main writes at exit (see
+/// obs/report.hpp; first name wins, ORDO_BENCH_REPORT overrides the path).
+inline void init_observability(const std::string& report_name) {
+  init_observability();
+  obs::set_bench_report_name(report_name);
+  if (const char* path = std::getenv("ORDO_BENCH_REPORT")) {
+    if (*path != '\0') obs::set_bench_report_output_path(path);
+  }
+}
+
 /// Splits a comma-separated kernel-id list ("merge,transpose").
 inline std::vector<std::string> parse_kernel_list(const char* list) {
   std::vector<std::string> kernels;
@@ -86,6 +97,9 @@ inline StudyOptions study_options_from_env() {
   if (const char* kernels = std::getenv("ORDO_KERNELS")) {
     options.kernels = parse_kernel_list(kernels);
   }
+  // ORDO_HW=1 (read by obs::init_from_env) turns on the counter session;
+  // the study then attaches host-measured columns to every row.
+  options.hw_counters = obs::hw::enabled();
   return options;
 }
 
@@ -117,7 +131,14 @@ inline StudyResults shared_study(int argc, char** argv) {
   std::fprintf(stderr,
                "ordo: using corpus of %d matrices (scale %.2f); cache dir %s\n",
                corpus.count, corpus.scale, default_results_dir().c_str());
-  return load_or_run_study(default_results_dir(), corpus, options);
+  obs::Stopwatch watch;
+  StudyResults results =
+      load_or_run_study(default_results_dir(), corpus, options);
+  obs::BenchCase study_case;
+  study_case.name = "shared_study_seconds";
+  study_case.rep_seconds.push_back(watch.seconds());
+  obs::bench_report().add_case(std::move(study_case));
+  return results;
 }
 
 inline StudyResults shared_study() { return shared_study(0, nullptr); }

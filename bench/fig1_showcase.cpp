@@ -15,7 +15,7 @@
 using namespace ordo;
 
 int main() {
-  bench::init_observability();
+  bench::init_observability("fig1_showcase");
   const ModelOptions model = model_options_from_env();
   const double scale = corpus_options_from_env().scale;
   const std::vector<std::string> matrices = {"Freescale2", "com-Amazon",

@@ -10,6 +10,7 @@
 using namespace ordo;
 
 int main(int argc, char** argv) {
+  bench::init_observability("fig2_speedup_1d");
   const StudyResults results = bench::shared_study(argc, argv);
   const auto reorderings = table1_orderings();
 

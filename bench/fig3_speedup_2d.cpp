@@ -6,6 +6,7 @@
 using namespace ordo;
 
 int main(int argc, char** argv) {
+  bench::init_observability("fig3_speedup_2d");
   const StudyResults results = bench::shared_study(argc, argv);
   const auto reorderings = table1_orderings();
 

@@ -28,7 +28,7 @@ struct ClassCase {
 }  // namespace
 
 int main() {
-  bench::init_observability();
+  bench::init_observability("fig4_classes");
   const ModelOptions model = model_options_from_env();
   const double scale = corpus_options_from_env().scale;
   const std::vector<ClassCase> cases = {

@@ -36,6 +36,7 @@ void print_profiles(const char* title,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability("fig5_profiles");
   const StudyResults results = bench::shared_study(argc, argv);
   const auto& rows = results.at({"Milan B", SpmvKernel::k1D});
   const auto kinds = study_orderings();

@@ -14,7 +14,7 @@
 using namespace ordo;
 
 int main() {
-  bench::init_observability();
+  bench::init_observability("fig6_fillin");
   CorpusOptions corpus_options = corpus_options_from_env();
   const std::vector<CorpusEntry> corpus = generate_corpus(corpus_options);
 

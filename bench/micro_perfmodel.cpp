@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "bench_report_main.hpp"
 #include "corpus/generators.hpp"
 #include "perfmodel/spmv_model.hpp"
 
@@ -79,3 +80,5 @@ void BM_CountMissesSegmented(benchmark::State& state) {
 BENCHMARK(BM_CountMissesSegmented);
 
 }  // namespace
+
+ORDO_BENCH_REPORT_MAIN("micro_perfmodel")

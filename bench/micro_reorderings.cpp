@@ -3,6 +3,7 @@
 // power-law graph.
 #include <benchmark/benchmark.h>
 
+#include "bench_report_main.hpp"
 #include "corpus/generators.hpp"
 #include "reorder/reordering.hpp"
 
@@ -53,3 +54,5 @@ BENCHMARK(BM_GpPowerLaw);
 BENCHMARK(BM_GrayPowerLaw);
 
 }  // namespace
+
+ORDO_BENCH_REPORT_MAIN("micro_reorderings")

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "bench_report_main.hpp"
 #include "corpus/generators.hpp"
 #include "engine/engine.hpp"
 #include "obs/obs.hpp"
@@ -141,3 +142,5 @@ void BM_Spmv1dMeshScopeEnabled(benchmark::State& state) {
 BENCHMARK(BM_Spmv1dMeshScopeEnabled)->Arg(1)->Arg(4);
 
 }  // namespace
+
+ORDO_BENCH_REPORT_MAIN("micro_spmv_kernels")

@@ -13,7 +13,7 @@
 using namespace ordo;
 
 int main() {
-  bench::init_observability();
+  bench::init_observability("ref_dense_spmv");
   const double scale = corpus_options_from_env().scale;
   const index_t rows = static_cast<index_t>(24000 * scale);
   const index_t cols = 1000;

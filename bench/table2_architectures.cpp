@@ -5,7 +5,7 @@
 using namespace ordo;
 
 int main() {
-  bench::init_observability();
+  bench::init_observability("table2_architectures");
   std::printf("Table 2: modelled hardware (parameters from the paper)\n\n");
   std::printf("%-9s %-26s %-8s %-13s %4s %6s %6s %5s %5s %5s %6s\n", "name",
               "CPU", "ISA", "uarch", "skt", "cores", "GHz", "L1D", "L2",

@@ -4,6 +4,7 @@
 using namespace ordo;
 
 int main(int argc, char** argv) {
+  bench::init_observability("table4_geomean_2d");
   const StudyResults results = bench::shared_study(argc, argv);
   const auto reorderings = table1_orderings();
 

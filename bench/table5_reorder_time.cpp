@@ -12,7 +12,7 @@
 using namespace ordo;
 
 int main() {
-  bench::init_observability();
+  bench::init_observability("table5_reorder_time");
   const double scale = corpus_options_from_env().scale;
   const ModelOptions model = model_options_from_env();
   const Architecture& icelake = architecture_by_name("Ice Lake");

@@ -6,7 +6,7 @@
 //   ./run_study [--count N] [--scale S] [--out DIR] [--seed K] [--jobs N]
 //               [--task-timeout S] [--resume|--no-resume] [--verbose]
 //               [--log quiet|progress|debug] [--kernels id,id,...]
-//               [--list-kernels] [--allow-nondeterministic]
+//               [--list-kernels] [--allow-nondeterministic] [--hw]
 //
 // The kernel set defaults to the studied csr_1d/csr_2d pair; --kernels
 // extends it with any ids registered in ordo::engine (--list-kernels shows
@@ -22,10 +22,12 @@
 // (see src/obs/obs.hpp); the trace and metrics files are written on exit.
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "engine/engine.hpp"
+#include "obs/hw/membw.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/study_pipeline.hpp"
 
@@ -93,6 +95,12 @@ void print_usage(std::FILE* out, const char* argv0) {
                "in a checkpointed\n"
                "                     sweep (their rows are not byte-reproducible "
                "on resume)\n"
+               "  --hw               open the hardware performance-counter "
+               "session (= ORDO_HW=1)\n"
+               "                     and attach host-measured IPC/LLC/GBps "
+               "columns to every row;\n"
+               "                     degrades gracefully when perf_event is "
+               "unavailable\n"
                "  --verbose          shorthand for --log progress\n"
                "  --log LEVEL        quiet|progress|debug (default quiet, or "
                "ORDO_LOG)\n"
@@ -138,6 +146,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--allow-nondeterministic") {
       study.allow_nondeterministic = true;
+    } else if (arg == "--hw") {
+      obs::hw::set_enabled(true);
     } else if (arg == "--verbose") {
       study.verbose = true;
     } else if (arg == "--log") {
@@ -150,6 +160,12 @@ int main(int argc, char** argv) {
       print_usage(stderr, argv[0]);
       return 2;
     }
+  }
+
+  study.hw_counters = obs::hw::enabled();  // --hw or ORDO_HW=1
+  if (study.hw_counters) {
+    std::printf("hw counters: %s (%s)\n", obs::hw::backend_name().c_str(),
+                obs::hw::backend_detail().c_str());
   }
 
   std::printf(
@@ -167,6 +183,44 @@ int main(int argc, char** argv) {
       std::printf("    (%d matrices missing — see %s/%s)\n",
                   corpus.count - static_cast<int>(rows.size()), out_dir.c_str(),
                   pipeline::kFailuresFilename);
+    }
+  }
+
+  if (study.hw_counters) {
+    // Host measurements repeat across the modeled machines, so summarise
+    // each kernel once (over every matrix × ordering measurement).
+    std::printf("\nhost hw counters per kernel:\n");
+    std::set<std::string> seen;
+    for (const auto& [key, rows] : results) {
+      const std::string kernel_id = key.second.id();
+      if (!seen.insert(kernel_id).second) continue;
+      int valid = 0;
+      double ipc_sum = 0.0;
+      double miss_sum = 0.0;
+      double gbps_sum = 0.0;
+      for (const MeasurementRow& row : rows) {
+        for (const OrderingMeasurement& m : row.orderings) {
+          if (!m.has_hw) continue;
+          ++valid;
+          ipc_sum += m.hw_ipc;
+          miss_sum += m.hw_llc_miss_rate;
+          gbps_sum += m.hw_gbps;
+        }
+      }
+      if (valid == 0) {
+        std::printf("  %-10s counters absent (%s)\n", kernel_id.c_str(),
+                    obs::hw::backend_detail().c_str());
+      } else {
+        std::printf(
+            "  %-10s %d measurements: mean IPC %.2f, LLC miss %.1f%%, "
+            "%.2f GB/s\n",
+            kernel_id.c_str(), valid, ipc_sum / valid,
+            100.0 * miss_sum / valid, gbps_sum / valid);
+      }
+    }
+    if (obs::hw::measured_peak_gbps() > 0.0) {
+      std::printf("  peak (STREAM-like): %.2f GB/s\n",
+                  obs::hw::measured_peak_gbps());
     }
   }
 

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "check/check.hpp"
+#include "engine/engine.hpp"
 #include "features/features.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/journal.hpp"
@@ -13,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace ordo {
 namespace {
@@ -40,6 +42,50 @@ std::string sanitize(std::string s) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   return s;
+}
+
+// Host-measured hardware counters for one (kernel, reordered matrix) pair.
+// The modeled columns price the paper's eight machines; this executes the
+// kernel on *this* host under a counter scope and reports what the silicon
+// did — the ground truth the model columns can be checked against. valid
+// stays false whenever the counter session is off or the perf backend
+// degraded, so rows carry "absent", never fabricated zeros.
+struct HostHwSample {
+  bool valid = false;
+  double ipc = 0.0;
+  double llc_miss_rate = 0.0;
+  double gbps = 0.0;
+  double seconds = 0.0;
+};
+
+HostHwSample measure_host_hw(const CsrMatrix& matrix, const SpmvKernel& kernel,
+                             const std::string& scope_name) {
+  HostHwSample sample;
+  if (!obs::hw::enabled()) return sample;
+  const int threads = static_cast<int>(std::max(
+      1u, std::thread::hardware_concurrency()));  // ordo-lint: allow(thread)
+  const auto plan = engine::prepare_plan(matrix, kernel, threads);
+  std::vector<value_t> x(static_cast<std::size_t>(matrix.num_cols()),
+                         value_t{1});
+  std::vector<value_t> y(static_cast<std::size_t>(matrix.num_rows()),
+                         value_t{0});
+  engine::spmv(*plan, matrix, x, y);  // warm-up: page faults, cache fill
+  constexpr int kReps = 3;
+  obs::hw::CounterScope scope(scope_name);
+  obs::Stopwatch watch;
+  for (int rep = 0; rep < kReps; ++rep) engine::spmv(*plan, matrix, x, y);
+  const double window_seconds = watch.seconds();
+  const obs::hw::CounterSet& counters = scope.stop();
+  if (!counters.available) return sample;
+  const obs::hw::DerivedMetrics derived =
+      obs::hw::derive_metrics(counters, window_seconds);
+  if (!derived.valid) return sample;
+  sample.valid = true;
+  sample.ipc = derived.ipc;
+  sample.llc_miss_rate = derived.llc_miss_rate;
+  sample.gbps = derived.gbps;
+  sample.seconds = window_seconds / kReps;
+  return sample;
 }
 
 }  // namespace
@@ -90,12 +136,14 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
     if (kind == OrderingKind::kGp) continue;
     poll_cancelled(cancel, "run_matrix_study");
     obs::Stopwatch watch;
+    obs::hw::CounterScope hw_scope("reorder." + ordering_name(kind));
     [[maybe_unused]] const auto it = reordered
         .emplace(kind, apply_ordering(
                            entry.matrix,
                            compute_ordering(entry.matrix, kind,
                                             options.reorder)))
         .first;
+    hw_scope.stop();
     ORDO_CHECK(validate_reordered_matrix(
         entry.matrix, it->second,
         "run_matrix_study(" + entry.name + "/" + ordering_name(kind) + ")"));
@@ -109,6 +157,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
     ReorderOptions gp_options = options.reorder;
     gp_options.gp_parts = arch.cores;
     obs::Stopwatch watch;
+    obs::hw::CounterScope hw_scope("reorder.gp");
     [[maybe_unused]] const auto it = gp_by_cores
         .emplace(arch.cores,
                  apply_ordering(entry.matrix,
@@ -116,6 +165,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
                                                  OrderingKind::kGp,
                                                  gp_options)))
         .first;
+    hw_scope.stop();
     ORDO_CHECK(validate_reordered_matrix(
         entry.matrix, it->second,
         "run_matrix_study(" + entry.name + "/gp" +
@@ -166,6 +216,32 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
     }
   }
 
+  // Host hardware-counter measurements, one per (kernel, reordered matrix).
+  // GP matrices differ per core count, so those are keyed by cores; every
+  // machine row with that core count shares the measurement.
+  std::map<std::pair<std::string, OrderingKind>, HostHwSample> host_hw;
+  std::map<std::pair<std::string, int>, HostHwSample> gp_host_hw;
+  if (options.hw_counters) {
+    ORDO_SCOPE("study/host_hw");
+    for (const SpmvKernel& kernel : kernels) {
+      for (const auto& [kind, matrix] : reordered) {
+        poll_cancelled(cancel, "run_matrix_study");
+        host_hw.emplace(
+            std::make_pair(kernel.id(), kind),
+            measure_host_hw(matrix, kernel,
+                            "spmv_host." + kernel.id() + "." +
+                                ordering_name(kind)));
+      }
+      for (const auto& [cores, matrix] : gp_by_cores) {
+        poll_cancelled(cancel, "run_matrix_study");
+        gp_host_hw.emplace(
+            std::make_pair(kernel.id(), cores),
+            measure_host_hw(matrix, kernel,
+                            "spmv_host." + kernel.id() + ".gp"));
+      }
+    }
+  }
+
   MatrixStudyRows rows;
   for (const Architecture& arch : machines) {
     poll_cancelled(cancel, "run_matrix_study");
@@ -201,6 +277,17 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
         m.profile = bp.second;
         m.off_diagonal_nnz =
             offdiag.at({static_cast<int>(k), arch.cores});
+        if (options.hw_counters) {
+          const HostHwSample& sample =
+              kind == OrderingKind::kGp
+                  ? gp_host_hw.at({kernel.id(), arch.cores})
+                  : host_hw.at({kernel.id(), kind});
+          m.has_hw = sample.valid;
+          m.hw_ipc = sample.ipc;
+          m.hw_llc_miss_rate = sample.llc_miss_rate;
+          m.hw_gbps = sample.gbps;
+          m.hw_seconds = sample.seconds;
+        }
 #if defined(ORDO_OBS_ENABLED)
         // Modeled per-ordering kernel time and per-thread work, aggregated
         // over matrices/machines — the per-ordering slice of
@@ -249,6 +336,16 @@ void write_results_file(const std::string& path,
                         const std::vector<MeasurementRow>& rows) {
   std::ofstream out(path);
   require(out.good(), "write_results_file: cannot open " + path);
+  // The host hardware-counter columns are appended only when some row
+  // actually carries them, so caches written without ORDO_HW keep the
+  // artifact's exact 54-column layout (and stay byte-identical to the
+  // committed result files). Readers sniff the header for ":hw_valid".
+  bool with_hw = false;
+  for (const MeasurementRow& row : rows) {
+    for (const OrderingMeasurement& m : row.orderings) {
+      with_hw = with_hw || m.has_hw;
+    }
+  }
   out << "# group name rows cols nnz threads";
   for (OrderingKind kind : study_orderings()) {
     const std::string n = ordering_name(kind);
@@ -256,6 +353,10 @@ void write_results_file(const std::string& path,
         << n << ":imbalance " << n << ":seconds " << n << ":gflops_max " << n
         << ":gflops_mean " << n << ":bandwidth " << n << ":profile " << n
         << ":offdiag_nnz";
+    if (with_hw) {
+      out << ' ' << n << ":hw_valid " << n << ":hw_ipc " << n
+          << ":hw_llc_miss_rate " << n << ":hw_gbps " << n << ":hw_seconds";
+    }
   }
   out << '\n';
   out.precision(9);
@@ -267,6 +368,10 @@ void write_results_file(const std::string& path,
           << m.mean_thread_nnz << ' ' << m.imbalance << ' ' << m.seconds
           << ' ' << m.gflops_max << ' ' << m.gflops_mean << ' ' << m.bandwidth
           << ' ' << m.profile << ' ' << m.off_diagonal_nnz;
+      if (with_hw) {
+        out << ' ' << (m.has_hw ? 1 : 0) << ' ' << m.hw_ipc << ' '
+            << m.hw_llc_miss_rate << ' ' << m.hw_gbps << ' ' << m.hw_seconds;
+      }
     }
     out << '\n';
   }
@@ -277,8 +382,14 @@ std::vector<MeasurementRow> read_results_file(const std::string& path) {
   require(in.good(), "read_results_file: cannot open " + path);
   std::vector<MeasurementRow> rows;
   std::string line;
+  bool with_hw = false;  // sniffed from the header (see write_results_file)
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      if (!line.empty() && line.find(":hw_valid") != std::string::npos) {
+        with_hw = true;
+      }
+      continue;
+    }
     std::istringstream fields(line);
     MeasurementRow row;
     fields >> row.group >> row.name >> row.rows >> row.cols >> row.nnz >>
@@ -288,6 +399,12 @@ std::vector<MeasurementRow> read_results_file(const std::string& path) {
       fields >> m.min_thread_nnz >> m.max_thread_nnz >> m.mean_thread_nnz >>
           m.imbalance >> m.seconds >> m.gflops_max >> m.gflops_mean >>
           m.bandwidth >> m.profile >> m.off_diagonal_nnz;
+      if (with_hw) {
+        int valid = 0;
+        fields >> valid >> m.hw_ipc >> m.hw_llc_miss_rate >> m.hw_gbps >>
+            m.hw_seconds;
+        m.has_hw = valid != 0;
+      }
       row.orderings.push_back(m);
     }
     require(!fields.fail(), "read_results_file: malformed row in " + path);

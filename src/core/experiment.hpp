@@ -31,6 +31,18 @@ struct OrderingMeasurement {
   std::int64_t bandwidth = 0;
   std::int64_t profile = 0;
   std::int64_t off_diagonal_nnz = 0;
+
+  // --- host-measured hardware-counter columns (StudyOptions::hw_counters) ---
+  // The model columns above price the paper's eight machines; these record
+  // what *this* host actually did while executing the kernel on the
+  // reordered matrix (obs/hw/hw_counters.hpp). has_hw stays false when the
+  // counter session is off or the perf backend is unavailable, so absent
+  // counters are reported as absent rather than as zeros.
+  bool has_hw = false;
+  double hw_ipc = 0.0;            ///< instructions per cycle
+  double hw_llc_miss_rate = 0.0;  ///< LLC misses / LLC references
+  double hw_gbps = 0.0;           ///< estimated DRAM traffic / measured time
+  double hw_seconds = 0.0;        ///< measured host wall time per SpMV rep
 };
 
 /// One matrix's measurements on one (machine, kernel) pair.
@@ -86,6 +98,17 @@ struct StudyOptions {
   /// byte-identical resume guarantee, so the pipeline refuses such kernels
   /// unless this is set (--allow-nondeterministic in run_study).
   bool allow_nondeterministic = false;
+
+  // --- hardware counters (see src/obs/hw/) ---
+  /// Execute every (kernel, reordered matrix) pair on the host inside a
+  /// hardware-counter scope and attach derived metrics (IPC, LLC miss rate,
+  /// achieved GB/s) to the result rows. Requires the obs::hw session to be
+  /// enabled (ORDO_HW=1 or --hw); degrades to has_hw=false rows when the
+  /// perf backend is unavailable. The host columns are excluded from the
+  /// checkpoint journal's byte-identical resume guarantee only in the sense
+  /// that the journal fingerprint includes the hw configuration, so mixing
+  /// hw and non-hw runs never replays stale rows.
+  bool hw_counters = false;
 };
 
 /// The resolved kernel set of a sweep: the studied pair (always first, in

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "check/invariants.hpp"
+#include "obs/hw/hw_counters.hpp"
 #include "obs/metrics.hpp"
 
 namespace ordo {
@@ -119,6 +120,15 @@ Plan prepare(const CsrMatrix& a, const std::string& id, int threads) {
 void execute(const Plan& plan, const CsrMatrix& a, std::span<const value_t> x,
              std::span<value_t> y) {
   const KernelDesc& desc = kernel(plan.kernel);
+  // Per-launch counter windows (ORDO_HW_LAUNCH=1) are opt-in separately from
+  // the session: a scope is two fd reads per counter per launch, cheap
+  // against a kernel launch but not against the one-branch budget every
+  // launch otherwise pays.
+  if (obs::hw::per_launch_enabled()) {
+    obs::hw::CounterScope scope("spmv." + plan.kernel);
+    desc.execute(plan, a, x, y);
+    return;
+  }
   desc.execute(plan, a, x, y);
 }
 

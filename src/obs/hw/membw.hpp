@@ -1,0 +1,56 @@
+// STREAM-like sustainable memory bandwidth measurement, the denominator of
+// the "achieved GB/s vs peak" column: the paper's roofline argument needs a
+// *measured* peak for the host, not a spec-sheet number.
+//
+// Four kernels over large double arrays (copy, scale, add, triad — the
+// classic STREAM set), each timed over several repetitions with every
+// logical CPU driving its own contiguous slice; the best rate across
+// kernels is the peak. Arrays are sized well past LLC capacity so the
+// traffic is DRAM traffic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ordo::obs::hw {
+
+struct MembwOptions {
+  /// Bytes per array (three arrays are allocated). Default 64 MiB — far
+  /// past any studied LLC. ORDO_MEMBW_MIB overrides in membw_options_from_env.
+  std::size_t array_bytes = std::size_t{64} << 20;
+  /// Timed repetitions per kernel; the best (minimum-time) rep is reported,
+  /// matching STREAM's methodology.
+  int reps = 5;
+  /// Worker threads; 0 = hardware concurrency.
+  int threads = 0;
+};
+
+/// Reads ORDO_MEMBW_MIB / ORDO_MEMBW_REPS / ORDO_MEMBW_THREADS.
+MembwOptions membw_options_from_env();
+
+struct MembwKernelResult {
+  std::string name;       ///< "copy", "scale", "add", "triad"
+  double bytes = 0.0;     ///< bytes moved per repetition
+  double seconds = 0.0;   ///< best repetition wall time
+  double gbps = 0.0;
+};
+
+struct MembwResult {
+  int threads = 0;
+  std::size_t array_bytes = 0;
+  std::vector<MembwKernelResult> kernels;
+  double peak_gbps = 0.0;  ///< best rate across kernels
+};
+
+/// Runs the sweep (takes a few seconds at the default size). Also stores
+/// the peak in the `hw.peak_gbps` gauge and the process-wide slot read by
+/// measured_peak_gbps().
+MembwResult measure_membw(const MembwOptions& options = {});
+
+/// The peak GB/s this process knows: ORDO_PEAK_GBPS when set (an operator
+/// relaying a previous micro_membw run), else the last measure_membw()
+/// result, else 0 (unknown).
+double measured_peak_gbps();
+
+}  // namespace ordo::obs::hw

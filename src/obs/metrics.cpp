@@ -170,7 +170,7 @@ void write_metrics_json(std::ostream& out) {
     }
     out << '}';
   };
-  out << '{';
+  out << "{\"schema_version\":" << kMetricsSchemaVersion << ',';
   dump_kind("counters", [&](const std::string& name, const Entry& entry,
                             bool first) {
     if (!entry.counter) return false;

@@ -89,7 +89,12 @@ void reset_metrics();
 /// Human-readable dump, one instrument per line.
 void write_metrics_text(std::ostream& out);
 
-/// JSON document {"counters":{...},"gauges":{...},"histograms":{...}}.
+/// Layout version of the metrics/trace JSON documents; bumped whenever a
+/// field changes meaning so downstream consumers can detect drift.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// JSON document {"schema_version":1,"counters":{...},"gauges":{...},
+/// "histograms":{...}}.
 void write_metrics_json(std::ostream& out);
 void write_metrics_json_file(const std::string& path);
 

@@ -15,9 +15,22 @@ std::string g_trace_path;
 std::string g_metrics_path;
 std::atomic<bool> g_profiling{false};
 
+// The exit-time flush: without it, a bench main that exits early (or a
+// StudyTaskFailure path that unwinds before the explicit dump) silently
+// dropped its metrics and trace buffers. Registered at most once, from
+// init_from_env and from every output-path setter — whichever runs first.
+std::once_flag g_atexit_once;
+
+void register_atexit_flush() {
+  std::call_once(g_atexit_once, [] { std::atexit([] { finalize(); }); });
+}
+
 }  // namespace
 
 void init_from_env() {
+  register_atexit_flush();
+  trace_now_us();  // pin the process time anchor: the bench report's
+                   // process_total_seconds counts from here
   if (const char* trace = std::getenv("ORDO_TRACE")) {
     if (*trace != '\0') {
       set_trace_output_path(trace);
@@ -33,6 +46,7 @@ void init_from_env() {
   if (const char* profile = std::getenv("ORDO_PROFILE")) {
     set_profiling_enabled(std::strcmp(profile, "0") != 0);
   }
+  hw::init_from_env();
 }
 
 std::string trace_output_path() {
@@ -41,6 +55,7 @@ std::string trace_output_path() {
 }
 
 void set_trace_output_path(const std::string& path) {
+  register_atexit_flush();
   std::lock_guard<std::mutex> lock(g_config_mutex);
   g_trace_path = path;
 }
@@ -51,6 +66,7 @@ std::string metrics_output_path() {
 }
 
 void set_metrics_output_path(const std::string& path) {
+  register_atexit_flush();
   std::lock_guard<std::mutex> lock(g_config_mutex);
   g_metrics_path = path;
 }
@@ -90,6 +106,11 @@ void finalize() {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ordo: metrics export failed: %s\n", e.what());
     }
+  }
+  try {
+    write_bench_report();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ordo: bench report export failed: %s\n", e.what());
   }
 }
 

@@ -11,6 +11,11 @@
 //   ORDO_PROFILE=1     per-thread profiling in the real SpMV kernels: each
 //                      launch records observed per-thread seconds/nnz and
 //                      imbalance into the registry
+//   ORDO_HW=1          open the hardware performance-counter session
+//                      (obs/hw/hw_counters.hpp); degrades to a null backend
+//                      when perf_event is unavailable, never a hard failure
+//   ORDO_HW_LAUNCH=1   additionally record a counter scope around every
+//                      engine kernel launch
 //
 // Design constraints (see DESIGN.md "Observability"):
 //  * zero overhead in kernel inner loops — instrumentation sits at phase
@@ -19,15 +24,20 @@
 //  * when compiled in but not enabled, a span costs one relaxed atomic load.
 #pragma once
 
+#include "obs/hw/hw_counters.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/trace.hpp"
 
 namespace ordo::obs {
 
-/// Reads ORDO_TRACE / ORDO_LOG / ORDO_METRICS / ORDO_PROFILE and applies
-/// them (idempotent; later calls re-read the environment).
+/// Reads ORDO_TRACE / ORDO_LOG / ORDO_METRICS / ORDO_PROFILE / ORDO_HW and
+/// applies them (idempotent; later calls re-read the environment). Also
+/// registers the exit-time flush (see finalize), so configured outputs are
+/// written even when a main exits early or a failure path unwinds past the
+/// explicit dump.
 void init_from_env();
 
 /// Output path for the Chrome trace, empty when tracing is not being
@@ -44,9 +54,10 @@ void set_metrics_output_path(const std::string& path);
 bool profiling_enabled();
 void set_profiling_enabled(bool enabled);
 
-/// Writes the configured trace and metrics outputs (no-op for unset paths).
-/// Benches register this via std::atexit; long-lived embedders may call it
-/// repeatedly.
+/// Writes the configured trace, metrics and bench-report outputs (no-op for
+/// unset paths). Registered via std::atexit by init_from_env (and by any
+/// output-path setter), so every configured output survives an early exit;
+/// long-lived embedders may also call it repeatedly.
 void finalize();
 
 }  // namespace ordo::obs

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <ostream>
 
+#include "obs/metrics.hpp"
 #include "obs/stopwatch.hpp"
 #include "sparse/types.hpp"
 
@@ -121,7 +122,10 @@ std::vector<SpanEvent> collect_trace() {
 
 void write_chrome_trace(std::ostream& out) {
   const std::vector<SpanEvent> events = collect_trace();
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // schema_version is ours (chrome://tracing ignores unknown keys); it
+  // tracks the span "args" layout, versioned with the metrics document.
+  out << "{\"schema_version\":" << kMetricsSchemaVersion
+      << ",\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const SpanEvent& e : events) {
     if (!first) out << ',';

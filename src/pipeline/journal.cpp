@@ -1,208 +1,23 @@
 #include "pipeline/journal.hpp"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <utility>
 
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
 
 namespace ordo::pipeline {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON subset: what the journal emits, and nothing more. Numbers
-// keep their raw text so int64 fields round-trip without a detour through
-// double. A parse failure anywhere throws invalid_argument_error, which the
-// loader treats as the crash point of the interrupted run.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  std::string text;  ///< raw number text, or decoded string value
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-
-  const JsonValue& at(const std::string& key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return v;
-    }
-    throw invalid_argument_error("journal: missing key " + key);
-  }
-  std::int64_t as_int() const {
-    require(kind == Kind::kNumber, "journal: expected number");
-    return std::strtoll(text.c_str(), nullptr, 10);
-  }
-  double as_double() const {
-    require(kind == Kind::kNumber, "journal: expected number");
-    return std::strtod(text.c_str(), nullptr);
-  }
-  const std::string& as_string() const {
-    require(kind == Kind::kString, "journal: expected string");
-    return text;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    require(pos_ == text_.size(), "journal: trailing characters");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    require(pos_ < text_.size(), "journal: unexpected end of line");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    require(peek() == c, std::string("journal: expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't':
-      case 'f': return boolean();
-      case 'n': return null_value();
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') { ++pos_; return v; }
-    for (;;) {
-      skip_ws();
-      JsonValue key = string_value();
-      skip_ws();
-      expect(':');
-      v.members.emplace_back(std::move(key.text), value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') { ++pos_; return v; }
-    for (;;) {
-      v.items.push_back(value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string_value() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    expect('"');
-    for (;;) {
-      require(pos_ < text_.size(), "journal: unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c == '\\') {
-        require(pos_ < text_.size(), "journal: bad escape");
-        char e = text_[pos_++];
-        switch (e) {
-          case '"': v.text += '"'; break;
-          case '\\': v.text += '\\'; break;
-          case '/': v.text += '/'; break;
-          case 'n': v.text += '\n'; break;
-          case 't': v.text += '\t'; break;
-          case 'r': v.text += '\r'; break;
-          default:
-            throw invalid_argument_error("journal: unsupported escape");
-        }
-        continue;
-      }
-      v.text += c;
-    }
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      throw invalid_argument_error("journal: bad literal");
-    }
-    return v;
-  }
-
-  JsonValue null_value() {
-    require(text_.compare(pos_, 4, "null") == 0, "journal: bad literal");
-    pos_ += 4;
-    return {};
-  }
-
-  JsonValue number() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::strchr("+-.eE0123456789", text_[pos_]) != nullptr)) {
-      ++pos_;
-    }
-    require(pos_ > start, "journal: expected number");
-    v.text = text_.substr(start, pos_ - start);
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-void append_json_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default: out += c;
-    }
-  }
-  out += '"';
-}
+// The journal speaks the shared ordo JSON subset (obs/json.hpp — hoisted
+// from this file's original private parser). A parse failure anywhere
+// throws invalid_argument_error, which the loader treats as the crash point
+// of the interrupted run.
+using obs::JsonValue;
+using obs::append_json_string;
 
 void append_double(std::string& out, double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trip exact
-  out += buf;
+  obs::append_json_double(out, v);  // %.17g — round-trip exact
 }
 
 // ---------------------------------------------------------------------------
@@ -277,6 +92,18 @@ std::string encode_record(const JournalRecord& record) {
       line += std::to_string(m.profile);
       line += ',';
       line += std::to_string(m.off_diagonal_nnz);
+      if (m.has_hw) {
+        // Host hardware-counter tail (15-tuple); absent counters keep the
+        // original 10-tuple so hw-less journals stay byte-identical.
+        line += ",1,";
+        append_double(line, m.hw_ipc);
+        line += ',';
+        append_double(line, m.hw_llc_miss_rate);
+        line += ',';
+        append_double(line, m.hw_gbps);
+        line += ',';
+        append_double(line, m.hw_seconds);
+      }
       line += ']';
     }
     line += "]}";
@@ -286,7 +113,7 @@ std::string encode_record(const JournalRecord& record) {
 }
 
 JournalRecord decode_record(const std::string& line) {
-  const JsonValue v = JsonParser(line).parse();
+  const JsonValue v = obs::parse_json(line);
   JournalRecord record;
   record.index = static_cast<int>(v.at("index").as_int());
   for (const JsonValue& pm : v.at("per_machine").items) {
@@ -303,7 +130,8 @@ JournalRecord decode_record(const std::string& line) {
     row.nnz = pm.at("nnz").as_int();
     row.threads = static_cast<int>(pm.at("threads").as_int());
     for (const JsonValue& tuple : pm.at("m").items) {
-      require(tuple.items.size() == 10, "journal: bad measurement arity");
+      require(tuple.items.size() == 10 || tuple.items.size() == 15,
+              "journal: bad measurement arity");
       OrderingMeasurement m;
       m.min_thread_nnz = tuple.items[0].as_int();
       m.max_thread_nnz = tuple.items[1].as_int();
@@ -315,6 +143,13 @@ JournalRecord decode_record(const std::string& line) {
       m.bandwidth = tuple.items[7].as_int();
       m.profile = tuple.items[8].as_int();
       m.off_diagonal_nnz = tuple.items[9].as_int();
+      if (tuple.items.size() == 15) {
+        m.has_hw = tuple.items[10].as_int() != 0;
+        m.hw_ipc = tuple.items[11].as_double();
+        m.hw_llc_miss_rate = tuple.items[12].as_double();
+        m.hw_gbps = tuple.items[13].as_double();
+        m.hw_seconds = tuple.items[14].as_double();
+      }
       row.orderings.push_back(m);
     }
     record.rows.emplace(std::make_pair(machine, kernel), std::move(row));
@@ -368,6 +203,13 @@ JournalKey make_journal_key(const std::vector<CorpusEntry>& corpus,
   // also expects merge rows (and vice versa).
   for (const SpmvKernel& kernel : study_kernels(options)) {
     h = fnv1a_str(h, kernel.id());
+  }
+  // The hw configuration is identity too: a journal written without the
+  // host-measured columns must not be replayed into a run that expects
+  // them, and the counter backend decides what those columns mean.
+  h = fnv1a_pod(h, options.hw_counters);
+  if (options.hw_counters) {
+    h = fnv1a_str(h, obs::hw::config_fingerprint());
   }
   key.fingerprint = h;
   return key;

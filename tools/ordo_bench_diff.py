@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Compare two ordo BENCH_*.json reports and flag regressions.
+
+Usage:
+    tools/ordo_bench_diff.py OLD.json NEW.json [--threshold FRAC]
+    tools/ordo_bench_diff.py --self-test
+
+Both files must be schema_version-1 reports written by obs/report.cpp
+(BenchReport::to_json). Cases are matched by name; for each pair the NEW
+median is compared against the OLD median with a noise-aware rule: a case
+regresses only when
+
+    new_median > old_median * (1 + threshold)        (relative slowdown)
+    AND new_median - old_median > noise              (outside jitter)
+
+where noise is the larger IQR of the two runs (zero when reps < 4, so
+single-rep cases fall back to the pure relative rule). The default
+threshold is 0.20 — the acceptance bar: a 20% slowdown fails, a re-run of
+the same binary passes.
+
+Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage or
+file/schema error. Added/missing cases and host fingerprint changes are
+reported but do not fail the diff (a new bench case is not a regression).
+
+stdlib-only on purpose: CI runs this straight from the checkout.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"ordo_bench_diff: cannot read {path}: {e}")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"ordo_bench_diff: {path}: unsupported schema_version "
+            f"{report.get('schema_version')!r} (want {SCHEMA_VERSION})")
+    for key in ("name", "host", "cases"):
+        if key not in report:
+            raise SystemExit(f"ordo_bench_diff: {path}: missing key {key!r}")
+    return report
+
+
+def case_map(report):
+    cases = {}
+    for case in report["cases"]:
+        cases[case["name"]] = case
+    return cases
+
+
+def host_line(report):
+    host = report["host"]
+    return "{} | {} | {} {} | {} cpus".format(
+        host.get("cpu", "?"), host.get("os", "?"), host.get("compiler", "?"),
+        host.get("build", "?"), host.get("logical_cpus", "?"))
+
+
+def diff_reports(old, new, threshold):
+    """Returns (regressions, lines): the failing case names and a report."""
+    old_cases = case_map(old)
+    new_cases = case_map(new)
+    lines = []
+    regressions = []
+
+    old_host = host_line(old)
+    new_host = host_line(new)
+    if old_host != new_host:
+        lines.append("note: host fingerprint changed")
+        lines.append(f"  old: {old_host}")
+        lines.append(f"  new: {new_host}")
+
+    for name in sorted(set(old_cases) | set(new_cases)):
+        if name not in new_cases:
+            lines.append(f"missing: {name} (in old only)")
+            continue
+        if name not in old_cases:
+            lines.append(f"added:   {name} (in new only)")
+            continue
+        old_case = old_cases[name]
+        new_case = new_cases[name]
+        old_median = float(old_case.get("median_seconds", 0.0))
+        new_median = float(new_case.get("median_seconds", 0.0))
+        if old_median <= 0.0 or new_median <= 0.0:
+            # Informational cases (e.g. membw_peak carries its payload in
+            # counters) have no timing to compare.
+            lines.append(f"skip:    {name} (no timing)")
+            continue
+        ratio = new_median / old_median
+        noise = max(float(old_case.get("iqr_seconds", 0.0)),
+                    float(new_case.get("iqr_seconds", 0.0)))
+        slower_by = new_median - old_median
+        regressed = ratio > 1.0 + threshold and slower_by > noise
+        marker = "REGRESSED" if regressed else "ok"
+        lines.append(
+            f"{marker:9s} {name}: {old_median:.6g}s -> {new_median:.6g}s "
+            f"({(ratio - 1.0) * 100.0:+.1f}%, noise {noise:.3g}s)")
+        if regressed:
+            regressions.append(name)
+
+    return regressions, lines
+
+
+# --- self-test --------------------------------------------------------------
+
+def synthetic_report(scale):
+    def case(name, base, reps=5, spread=0.01):
+        samples = [base * scale * (1.0 + spread * ((i % 3) - 1))
+                   for i in range(reps)]
+        samples.sort()
+        median = samples[len(samples) // 2]
+        iqr = samples[(3 * len(samples)) // 4] - samples[len(samples) // 4]
+        return {"name": name, "reps": samples, "median_seconds": median,
+                "iqr_seconds": iqr, "counters": {}}
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": "self_test",
+        "host": {"os": "test", "cpu": "test", "logical_cpus": 1,
+                 "compiler": "test", "build": "Release",
+                 "hw_backend": "off"},
+        "cases": [case("spmv_fast", 1e-3), case("spmv_slow", 5e-2),
+                  {"name": "peak_only", "reps": [], "median_seconds": 0.0,
+                   "iqr_seconds": 0.0, "counters": {"peak_gbps": 10.0}}],
+    }
+
+
+def self_test():
+    base = synthetic_report(1.0)
+
+    # Same report against itself: identical medians must pass.
+    regressions, _ = diff_reports(base, base, DEFAULT_THRESHOLD)
+    assert regressions == [], f"same-report diff flagged {regressions}"
+
+    # A uniform +25% slowdown must be flagged on every timed case.
+    slower = synthetic_report(1.25)
+    regressions, _ = diff_reports(base, slower, DEFAULT_THRESHOLD)
+    assert sorted(regressions) == ["spmv_fast", "spmv_slow"], (
+        f"+25% run flagged {regressions}")
+
+    # +25% the other way round (a speedup) must pass.
+    regressions, _ = diff_reports(slower, base, DEFAULT_THRESHOLD)
+    assert regressions == [], f"speedup flagged {regressions}"
+
+    # A slowdown inside the noise band must pass: +30% relative but the IQR
+    # is wider than the delta.
+    noisy_old = synthetic_report(1.0)
+    noisy_new = synthetic_report(1.3)
+    for case in noisy_old["cases"] + noisy_new["cases"]:
+        if case["median_seconds"] > 0.0:
+            case["iqr_seconds"] = case["median_seconds"]  # huge jitter
+    regressions, _ = diff_reports(noisy_old, noisy_new, DEFAULT_THRESHOLD)
+    assert regressions == [], f"in-noise slowdown flagged {regressions}"
+
+    # Added/missing cases are reported but never regressions.
+    fewer = synthetic_report(1.0)
+    fewer["cases"] = fewer["cases"][:1]
+    regressions, lines = diff_reports(fewer, base, DEFAULT_THRESHOLD)
+    assert regressions == [], f"added case flagged {regressions}"
+    assert any(line.startswith("added:") for line in lines), lines
+
+    print("ordo_bench_diff: self-test passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="compare two ordo BENCH_*.json reports")
+    parser.add_argument("old", nargs="?", help="baseline report")
+    parser.add_argument("new", nargs="?", help="candidate report")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative slowdown that fails (default 0.20)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.old or not args.new:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    old = load_report(args.old)
+    new = load_report(args.new)
+    regressions, lines = diff_reports(old, new, args.threshold)
+    print(f"ordo_bench_diff: {old['name']} ({args.old}) vs "
+          f"{new['name']} ({args.new}), threshold "
+          f"{args.threshold * 100.0:.0f}%")
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        print(f"ordo_bench_diff: {len(regressions)} regression(s): "
+              + ", ".join(regressions))
+        return 1
+    print("ordo_bench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -118,6 +118,7 @@ def in_src(relpath):
 
 RANDOM_RE = re.compile(r"\bstd::random_device\b|(?<![\w:])s?rand\s*\(")
 THREAD_RE = re.compile(r"\bstd::thread\b")
+CHRONO_RE = re.compile(r"\bstd::chrono\b")
 IO_RE = re.compile(
     r"\bstd::c(?:out|err|log)\b|(?<![\w:])(?:f|v|vf)?printf\s*\(|(?<![\w:])f?puts\s*\(")
 OMP_RE = re.compile(r"#\s*pragma\s+omp\b")
@@ -133,6 +134,15 @@ def omp_exempt(relpath):
     return relpath.startswith(
         (os.path.join("src", "engine") + os.sep,
          os.path.join("src", "spmv") + os.sep))
+
+
+def chrono_exempt(relpath):
+    # obs owns the clocks (Stopwatch, trace time base) and the pipeline's
+    # deadline scheduling legitimately speaks std::chrono; everything else
+    # should time through obs::Stopwatch so timing stays in one place.
+    return relpath.startswith(
+        (os.path.join("src", "obs") + os.sep,
+         os.path.join("src", "pipeline") + os.sep))
 
 
 # --- float-eq --------------------------------------------------------------
@@ -254,6 +264,10 @@ def lint_file(path):
                       "#pragma omp outside src/engine/ and src/spmv/ — "
                       "consume a prepared engine plan instead of spawning "
                       "threads")
+            if not chrono_exempt(relpath):
+                check(lineno, "chrono", CHRONO_RE.search(code),
+                      "raw std::chrono outside src/obs/ and src/pipeline/ — "
+                      "time through obs::Stopwatch / trace_now_us")
             check(lineno, "float-eq", float_eq_violations(code, float_names),
                   "floating-point == / != — compare with a tolerance, or "
                   "suppress where exact equality is the contract")
@@ -312,6 +326,7 @@ double jitter() {
 
 void report(double x) {
   std::thread worker([] {});
+  auto t0 = std::chrono::steady_clock::now();
   if (x == 1.0) printf("hit\\n");
   double y = x;
   if (y != x) return;
@@ -360,7 +375,7 @@ def self_test():
             REPO_ROOT = saved_root
 
         fired = {v.rule for v in bad_violations}
-        for rule in ("random", "thread", "io", "omp", "float-eq",
+        for rule in ("random", "thread", "io", "omp", "chrono", "float-eq",
                      "include-order"):
             if rule not in fired:
                 failures.append(f"rule '{rule}' did not fire on seeded code")
