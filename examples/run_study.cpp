@@ -7,6 +7,12 @@
 //               [--task-timeout S] [--resume|--no-resume] [--verbose]
 //               [--log quiet|progress|debug] [--kernels id,id,...]
 //               [--list-kernels] [--allow-nondeterministic] [--hw]
+//               [--status-port P] [--status-file PATH]
+//
+// Live telemetry: --status-port serves GET /stats + /healthz on loopback
+// (poll it with tools/ordo_top.py) and mirrors snapshots to
+// <out>/ordo_status.json; --status-file points the heartbeat elsewhere
+// (and works alone, for hosts where opening a socket is not an option).
 //
 // The kernel set defaults to the studied csr_1d/csr_2d pair; --kernels
 // extends it with any ids registered in ordo::engine (--list-kernels shows
@@ -22,6 +28,7 @@
 // (see src/obs/obs.hpp); the trace and metrics files are written on exit.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <set>
 #include <string>
 
@@ -29,6 +36,7 @@
 #include "engine/engine.hpp"
 #include "obs/hw/membw.hpp"
 #include "obs/obs.hpp"
+#include "obs/status/status.hpp"
 #include "pipeline/study_pipeline.hpp"
 
 using namespace ordo;
@@ -101,6 +109,15 @@ void print_usage(std::FILE* out, const char* argv0) {
                "columns to every row;\n"
                "                     degrades gracefully when perf_event is "
                "unavailable\n"
+               "  --status-port P    serve live study status on loopback "
+               "(GET /stats, /healthz;\n"
+               "                     = ORDO_STATUS_PORT) and mirror snapshots "
+               "to <out>/ordo_status.json;\n"
+               "                     watch with tools/ordo_top.py --port P\n"
+               "  --status-file PATH write the atomically-renamed status "
+               "heartbeat JSON to PATH\n"
+               "                     instead (= ORDO_STATUS_FILE; usable "
+               "without --status-port)\n"
                "  --verbose          shorthand for --log progress\n"
                "  --log LEVEL        quiet|progress|debug (default quiet, or "
                "ORDO_LOG)\n"
@@ -116,6 +133,8 @@ int main(int argc, char** argv) {
   StudyOptions study;
   study.model = model_options_from_env();
   std::string out_dir = default_results_dir();
+  int status_port = -1;        // -1 = not requested (0 = ephemeral)
+  std::string status_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -148,6 +167,10 @@ int main(int argc, char** argv) {
       study.allow_nondeterministic = true;
     } else if (arg == "--hw") {
       obs::hw::set_enabled(true);
+    } else if (arg == "--status-port") {
+      status_port = std::atoi(next());
+    } else if (arg == "--status-file") {
+      status_file = next();
     } else if (arg == "--verbose") {
       study.verbose = true;
     } else if (arg == "--log") {
@@ -160,6 +183,23 @@ int main(int argc, char** argv) {
       print_usage(stderr, argv[0]);
       return 2;
     }
+  }
+
+  // Live telemetry (in addition to any ORDO_STATUS_* environment wiring):
+  // the listener serves /stats on loopback; the heartbeat mirrors the same
+  // snapshots to a file so socketless hosts can still be monitored.
+  if (status_port >= 0) {
+    obs::status::start_listener(status_port);
+    std::printf("status: http://127.0.0.1:%d/stats (ordo_top.py --port %d)\n",
+                obs::status::listener_port(), obs::status::listener_port());
+  }
+  if (status_port >= 0 && status_file.empty()) {
+    status_file = (std::filesystem::path(out_dir) / "ordo_status.json").string();
+  }
+  if (!status_file.empty()) {
+    std::filesystem::create_directories(
+        std::filesystem::path(status_file).parent_path());
+    obs::status::start_heartbeat(status_file);
   }
 
   study.hw_counters = obs::hw::enabled();  // --hw or ORDO_HW=1

@@ -4,6 +4,7 @@
 #include "engine/engine.hpp"
 #include "features/features.hpp"
 #include "obs/obs.hpp"
+#include "obs/status/status.hpp"
 #include "pipeline/journal.hpp"
 #include "pipeline/study_pipeline.hpp"
 
@@ -131,6 +132,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
   // Arch-independent orderings, computed once. The GP ordering matches the
   // part count to the machine's cores (Section 3.3), so it is computed per
   // distinct core count instead.
+  obs::status::set_phase("reorder");
   std::map<OrderingKind, CsrMatrix> reordered;
   for (OrderingKind kind : kinds) {
     if (kind == OrderingKind::kGp) continue;
@@ -175,6 +177,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
   }
 
   // One reuse profile per reordered matrix, shared across machines.
+  obs::status::set_phase("profile");
   std::map<OrderingKind, SpmvModel> models;
   {
     ORDO_SCOPE("study/reuse_profiles");
@@ -195,6 +198,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
   // Order-sensitive features: bandwidth and profile are machine-
   // independent; the off-diagonal count uses the machine's core count as
   // block count and is computed per distinct thread count.
+  obs::status::set_phase("features");
   std::map<OrderingKind, std::pair<std::int64_t, std::int64_t>> band_profile;
   for (const auto& [kind, matrix] : reordered) {
     band_profile[kind] = {matrix_bandwidth(matrix), matrix_profile(matrix)};
@@ -223,6 +227,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
   std::map<std::pair<std::string, int>, HostHwSample> gp_host_hw;
   if (options.hw_counters) {
     ORDO_SCOPE("study/host_hw");
+    obs::status::set_phase("spmv");
     for (const SpmvKernel& kernel : kernels) {
       for (const auto& [kind, matrix] : reordered) {
         poll_cancelled(cancel, "run_matrix_study");
@@ -243,6 +248,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
   }
 
   MatrixStudyRows rows;
+  obs::status::set_phase("model");
   for (const Architecture& arch : machines) {
     poll_cancelled(cancel, "run_matrix_study");
     for (const SpmvKernel& kernel : kernels) {

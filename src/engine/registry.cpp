@@ -9,6 +9,7 @@
 #include "check/invariants.hpp"
 #include "obs/hw/hw_counters.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status/status.hpp"
 
 namespace ordo {
 
@@ -120,6 +121,9 @@ Plan prepare(const CsrMatrix& a, const std::string& id, int threads) {
 void execute(const Plan& plan, const CsrMatrix& a, std::span<const value_t> x,
              std::span<value_t> y) {
   const KernelDesc& desc = kernel(plan.kernel);
+  // Phase marker for the live status board, gated like the hw launch scope
+  // so the disabled cost stays one relaxed load per launch.
+  if (obs::status::consumers_active()) obs::status::set_phase("spmv");
   // Per-launch counter windows (ORDO_HW_LAUNCH=1) are opt-in separately from
   // the session: a scope is two fd reads per counter per launch, cheap
   // against a kernel launch but not against the one-branch budget every

@@ -135,6 +135,29 @@ void reset_metrics() {
   }
 }
 
+std::vector<MetricSample> sample_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<MetricSample> samples;
+  samples.reserve(r.entries.size());
+  for (const auto& [name, entry] : r.entries) {
+    MetricSample sample;
+    sample.name = name;
+    if (entry.counter) {
+      sample.kind = MetricSample::Kind::kCounter;
+      sample.counter_value = entry.counter->value();
+    } else if (entry.gauge) {
+      sample.kind = MetricSample::Kind::kGauge;
+      sample.gauge_value = entry.gauge->value();
+    } else if (entry.histogram) {
+      sample.kind = MetricSample::Kind::kHistogram;
+      sample.histogram = entry.histogram->snapshot();
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;  // std::map iteration order is already sorted
+}
+
 void write_metrics_text(std::ostream& out) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);

@@ -86,6 +86,22 @@ std::vector<std::string> metric_names();
 /// without invalidating references. For tests and repeated harness runs.
 void reset_metrics();
 
+/// One instrument's value as sample_metrics() read it.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t counter_value = 0;
+  double gauge_value = 0.0;
+  Histogram::Snapshot histogram;  ///< kHistogram only
+};
+
+/// Reads every registered instrument, sorted by name. Each instrument is
+/// sampled atomically but the set is not a global cut — a counter bumped
+/// between two samples shows its new value while an earlier-sampled one
+/// shows its old. The live-status snapshot path is the consumer.
+std::vector<MetricSample> sample_metrics();
+
 /// Human-readable dump, one instrument per line.
 void write_metrics_text(std::ostream& out);
 

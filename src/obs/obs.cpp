@@ -7,6 +7,8 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/status/status.hpp"
+
 namespace ordo::obs {
 namespace {
 
@@ -47,6 +49,23 @@ void init_from_env() {
     set_profiling_enabled(std::strcmp(profile, "0") != 0);
   }
   hw::init_from_env();
+  status::init_from_env();
+}
+
+void flush_metrics() {
+  const std::string path = metrics_output_path();
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  try {
+    write_metrics_json_file(tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      std::fprintf(stderr, "ordo: flush_metrics: cannot rename %s -> %s\n",
+                   tmp.c_str(), path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ordo: flush_metrics failed: %s\n", e.what());
+  }
 }
 
 std::string trace_output_path() {
@@ -80,6 +99,14 @@ void set_profiling_enabled(bool enabled) {
 }
 
 void finalize() {
+  // Stop the status consumers first: the heartbeat writer flushes one final
+  // snapshot, so an orderly exit (or SIGTERM-to-exit path) leaves a fresh
+  // complete document behind.
+  try {
+    status::stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ordo: status shutdown failed: %s\n", e.what());
+  }
   std::string trace_path;
   std::string metrics_path;
   {

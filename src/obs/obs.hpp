@@ -54,10 +54,20 @@ void set_metrics_output_path(const std::string& path);
 bool profiling_enabled();
 void set_profiling_enabled(bool enabled);
 
+/// Explicit mid-run metrics dump: writes the registry JSON (same
+/// schema_version-stamped document as the atexit dump) to the configured
+/// metrics path via write-temp-then-rename, so a concurrent reader never
+/// sees a torn file. No-op when no path is configured; write failures are
+/// logged, never thrown (the status snapshot path calls this from service
+/// threads). The atexit dump stays byte-compatible — both funnel through
+/// write_metrics_json.
+void flush_metrics();
+
 /// Writes the configured trace, metrics and bench-report outputs (no-op for
 /// unset paths). Registered via std::atexit by init_from_env (and by any
 /// output-path setter), so every configured output survives an early exit;
-/// long-lived embedders may also call it repeatedly.
+/// long-lived embedders may also call it repeatedly. Also stops the live
+/// status consumers (status::stop()), flushing one final heartbeat.
 void finalize();
 
 }  // namespace ordo::obs

@@ -1,0 +1,75 @@
+#include "obs/status/heartbeat.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/log.hpp"
+#include "obs/status/status.hpp"
+#include "sparse/types.hpp"
+
+namespace ordo::obs::status {
+
+HeartbeatWriter::HeartbeatWriter(std::string path, double interval_seconds)
+    : path_(std::move(path)),
+      interval_seconds_(std::max(0.1, interval_seconds)) {
+  write_snapshot();  // fail fast on an unwritable path, before the thread
+  thread_ = std::thread([this] { loop(); });
+  logf(LogLevel::kProgress, "status: heartbeat file %s every %.1fs",
+       path_.c_str(), interval_seconds_);
+}
+
+HeartbeatWriter::~HeartbeatWriter() { stop(); }
+
+void HeartbeatWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // One final snapshot so the file records the run's end state (the loop
+  // may have been mid-sleep for most of an interval).
+  try {
+    write_snapshot();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ordo: final heartbeat write failed: %s\n",
+                 e.what());
+  }
+}
+
+void HeartbeatWriter::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock,
+                 std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::duration<double>(interval_seconds_)),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    try {
+      write_snapshot();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ordo: heartbeat write failed: %s\n", e.what());
+    }
+    lock.lock();
+  }
+}
+
+void HeartbeatWriter::write_snapshot() {
+  // Temp-then-rename: readers never observe a torn document, and the rename
+  // is atomic on every POSIX filesystem the study runs on.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    require(out.good(), "status: cannot open heartbeat file " + tmp);
+    out << snapshot_json() << '\n';
+    require(out.good(), "status: failed writing heartbeat file " + tmp);
+  }
+  require(std::rename(tmp.c_str(), path_.c_str()) == 0,
+          "status: cannot rename " + tmp + " to " + path_);
+}
+
+}  // namespace ordo::obs::status

@@ -1,0 +1,44 @@
+// Heartbeat file writer — /stats for socketless hosts: every interval the
+// current StatusBoard snapshot is written to `path` via write-temp-then-
+// rename, so any reader (ordo_top --file, a cron job, an NFS-mounted
+// dashboard) always sees a complete JSON document — either the previous
+// snapshot or the new one, never a torn write. A killed process leaves the
+// last completed snapshot behind; an orderly stop() writes one final
+// snapshot first.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ordo::obs::status {
+
+class HeartbeatWriter {
+ public:
+  /// Writes a first snapshot immediately, then every `interval_seconds`
+  /// (clamped to at least 100 ms) from a background thread. Throws
+  /// invalid_argument_error when `path` is not writable.
+  HeartbeatWriter(std::string path, double interval_seconds);
+  ~HeartbeatWriter();  // = stop()
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Joins the writer thread after one final snapshot write. Idempotent.
+  void stop();
+
+ private:
+  void loop();
+  void write_snapshot();
+
+  std::string path_;
+  double interval_seconds_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ordo::obs::status

@@ -1,0 +1,167 @@
+#include "obs/status/listener.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/status/status.hpp"
+#include "sparse/types.hpp"
+
+namespace ordo::obs::status {
+namespace {
+
+// The accept loop polls with this period so stop() is observed promptly
+// without a self-pipe (close() alone does not reliably wake a blocked
+// accept()).
+constexpr int kPollMillis = 100;
+
+bool is_loopback_host(const std::string& host) {
+  return host == "127.0.0.1" || host == "localhost" || host == "::1";
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to do for telemetry
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* code, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += code;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Reads up to the end of the request head ("\r\n\r\n") or 4 KiB, whichever
+// comes first, and returns the request target of a GET line ("" otherwise).
+// The listener only ever needs the target — headers and bodies are ignored.
+std::string read_request_target(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 4096 && head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  if (head.compare(0, 4, "GET ") != 0) return "";
+  const std::size_t end = head.find(' ', 4);
+  if (end == std::string::npos) return "";
+  return head.substr(4, end - 4);
+}
+
+}  // namespace
+
+StatusListener::StatusListener(const std::string& host, int port) {
+  require(is_loopback_host(host),
+          "status: refusing to bind non-loopback host '" + host +
+              "' — the status listener is loopback-only by contract "
+              "(tunnel or use the heartbeat file for remote monitoring)");
+  require(port >= 0 && port <= 65535,
+          "status: invalid port " + std::to_string(port));
+
+  const bool v6 = host == "::1";
+  listen_fd_ = ::socket(v6 ? AF_INET6 : AF_INET, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0,
+          std::string("status: socket() failed: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  int rc = -1;
+  if (v6) {
+    sockaddr_in6 addr{};
+    addr.sin6_family = AF_INET6;
+    addr.sin6_addr = in6addr_loopback;
+    addr.sin6_port = htons(static_cast<std::uint16_t>(port));
+    rc = ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr);
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    rc = ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr);
+  }
+  if (rc != 0 || ::listen(listen_fd_, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    require(false, "status: cannot listen on " + host + ":" +
+                       std::to_string(port) + ": " + reason);
+  }
+
+  // Resolve the bound port (meaningful after an ephemeral port-0 bind).
+  sockaddr_storage bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = v6 ? ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port)
+               : ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+  }
+
+  thread_ = std::thread([this] { serve_loop(); });
+  logf(LogLevel::kProgress, "status: listening on http://%s:%d/stats",
+       host.c_str(), port_);
+}
+
+StatusListener::~StatusListener() { stop(); }
+
+void StatusListener::stop() {
+  if (stop_.exchange(true)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void StatusListener::serve_loop() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // A stalled client must not wedge the accept loop: bound both
+    // directions, then serve the one request.
+    timeval timeout{2, 0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+    ORDO_COUNTER_ADD("status.http.requests", 1);
+    const std::string target = read_request_target(conn);
+    if (target == "/stats" || target == "/stats/") {
+      write_all(conn, http_response("200 OK", "application/json",
+                                    snapshot_json()));
+    } else if (target == "/healthz" || target == "/healthz/") {
+      std::string body = "{\"ok\":true,\"schema_version\":";
+      body += std::to_string(kStatusSchemaVersion);
+      body += "}";
+      write_all(conn, http_response("200 OK", "application/json", body));
+    } else if (target.empty()) {
+      write_all(conn, http_response("400 Bad Request", "text/plain",
+                                    "ordo status: GET only\n"));
+    } else {
+      write_all(conn, http_response("404 Not Found", "text/plain",
+                                    "ordo status: try /stats or /healthz\n"));
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace ordo::obs::status

@@ -1,0 +1,48 @@
+// Minimal embedded HTTP/1.0 status listener — the read-side half of the
+// ordo-serve direction: GET /stats returns a StatusBoard snapshot, GET
+// /healthz a tiny liveness document. Deliberately not a web server: one
+// accept thread, one request per connection, Connection: close, ~100 lines
+// of POSIX sockets. Anything fancier (keep-alive, POST, request routing)
+// belongs to the future write-side service, not to telemetry.
+//
+// Loopback-only by contract: the constructor refuses any bind host other
+// than 127.0.0.1 / localhost / ::1. A study run must never become an
+// unauthenticated network service by accident; remote monitoring goes
+// through an ssh tunnel or the heartbeat file.
+//
+// This directory is the only place in the tree allowed to touch raw
+// sockets (lint rule `socket` — tools/ordo_lint.py).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace ordo::obs::status {
+
+class StatusListener {
+ public:
+  /// Binds `host`:`port` (port 0 = ephemeral, see port()) and starts the
+  /// accept thread. Throws invalid_argument_error when `host` is not a
+  /// loopback address or the socket cannot be bound.
+  StatusListener(const std::string& host, int port);
+  ~StatusListener();  // stops and joins
+  StatusListener(const StatusListener&) = delete;
+  StatusListener& operator=(const StatusListener&) = delete;
+
+  /// The bound port (resolved after an ephemeral bind).
+  int port() const { return port_; }
+
+  /// Stops accepting and joins the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace ordo::obs::status

@@ -1,0 +1,148 @@
+// ordo::obs::status — live telemetry for long-running sweeps.
+//
+// A full study is hours of work whose only signals used to be log lines and
+// an atexit ordo_metrics.json. The StatusBoard turns the process into
+// something an operator can *watch*: it composes point-in-time JSON
+// snapshots of the whole system — pipeline progress (tasks done / failed /
+// in flight, with per-task matrix id, phase, elapsed and deadline margin),
+// journal-derived completion fraction and an EWMA-based ETA, the metrics
+// registry with per-counter deltas since the previous snapshot, registered
+// subsystem sections (the engine contributes its plan-cache hit/size
+// stats), and the latest hardware-counter window (IPC, LLC miss rate,
+// achieved-vs-peak GB/s) when an ORDO_HW session is live.
+//
+// Consumers (src/obs/status/listener.hpp, heartbeat.hpp, tools/ordo_top.py):
+//  * a minimal loopback-only HTTP/1.0 listener serving GET /stats and
+//    GET /healthz (ORDO_STATUS_PORT / run_study --status-port);
+//  * an atomically-renamed ordo_status.json heartbeat file for hosts where
+//    opening a socket is not an option (ORDO_STATUS_FILE).
+//
+// Consistency model (DESIGN.md §11): the board is lock-light on the write
+// side — task hooks touch only per-slot atomics plus a per-slot mutex for
+// the matrix name, never a board-wide lock — so workers never serialize on
+// telemetry. A snapshot is *read-coherent per field*, not a global atomic
+// cut: counts are monotonic, but a snapshot taken mid-transition may see a
+// task already counted completed while its worker slot still reads active.
+// Snapshots themselves serialize on one snapshot mutex (they also carry
+// since-last-snapshot deltas, which need a linear snapshot history).
+//
+// Every hook is a no-op (one thread-local read) on threads that never
+// registered a task, so benches and library code call set_phase freely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ordo::obs::status {
+
+/// Layout version of the /stats and heartbeat documents; bumped whenever a
+/// field changes meaning so ordo_top and CI checkers can detect drift.
+inline constexpr int kStatusSchemaVersion = 1;
+
+/// A subsystem section provider: appends one complete JSON value (object,
+/// array or scalar) to `out`. Must be callable from any thread and must not
+/// block on locks a stalled worker could hold.
+using SectionFn = std::function<void(std::string&)>;
+
+/// Registers (or replaces) a named top-level section of every snapshot.
+/// The engine registers "plan_cache" this way; new subsystems add theirs
+/// without touching the board.
+void register_section(const std::string& key, SectionFn fn);
+
+// --- pipeline hooks --------------------------------------------------------
+// Called by the study scheduler (src/pipeline/study_pipeline.cpp). A task is
+// bound to the calling thread: task_started claims a worker slot for the
+// thread (reused across its tasks), set_phase tags the slot, task_finished
+// releases it.
+
+/// A sweep is starting: `total` corpus tasks, `workers` scheduled threads,
+/// `resumed` tasks replayed from the checkpoint journal (they count toward
+/// the completion fraction but not toward the ETA's per-task EWMA).
+void begin_run(std::int64_t total, int workers, std::int64_t resumed);
+
+/// The sweep finished (the board keeps its final counts for late polls).
+void end_run();
+
+/// The calling thread begins study task `index` on matrix `name`;
+/// `deadline_seconds` is the soft per-task deadline (0 = none).
+void task_started(int index, const std::string& name, double deadline_seconds);
+
+/// Tags the calling thread's in-flight task with a phase marker ("reorder",
+/// "spmv", "journal", ...). `phase` must have static storage duration — the
+/// board keeps the pointer, not a copy. No-op without an in-flight task.
+void set_phase(const char* phase);
+
+/// The calling thread's in-flight task ended after `seconds`.
+void task_finished(bool failed, bool timed_out, double seconds);
+
+// --- snapshots -------------------------------------------------------------
+
+/// Composes a point-in-time snapshot of the whole system as a JSON document
+/// (see kStatusSchemaVersion). Also flushes the metrics registry to the
+/// configured ORDO_METRICS path (obs::flush_metrics), so the on-disk dump
+/// tracks the live view instead of appearing only at exit.
+std::string snapshot_json();
+
+/// Parsed-back progress for tests and in-process consumers.
+struct ProgressSnapshot {
+  bool running = false;
+  std::int64_t total = 0;
+  std::int64_t completed = 0;  ///< computed by this run (excludes resumed)
+  std::int64_t failed = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t resumed = 0;
+  int workers = 0;
+  int in_flight = 0;
+  double fraction = 0.0;  ///< (resumed+completed+failed) / total, 0 when idle
+  bool has_eta = false;   ///< false until the first completion of this run
+  double eta_seconds = 0.0;
+  double elapsed_seconds = 0.0;  ///< since begin_run
+};
+ProgressSnapshot progress();
+
+/// One in-flight worker slot as a snapshot sees it.
+struct WorkerSnapshot {
+  int slot = -1;
+  int task_index = -1;
+  std::string matrix;
+  std::string phase;  ///< empty until the first set_phase of the task
+  double elapsed_seconds = 0.0;
+  bool has_deadline = false;
+  double deadline_margin_seconds = 0.0;  ///< negative once past the deadline
+};
+std::vector<WorkerSnapshot> in_flight_workers();
+
+// --- process-wide consumers ------------------------------------------------
+
+/// Reads ORDO_STATUS_PORT (loopback HTTP listener) and ORDO_STATUS_FILE /
+/// ORDO_STATUS_INTERVAL (heartbeat file, default 1s cadence) and starts the
+/// requested consumers. Idempotent per consumer; called from
+/// obs::init_from_env().
+void init_from_env();
+
+/// Starts the loopback /stats listener on `port` (0 = ephemeral). Throws
+/// invalid_argument_error when the port cannot be bound. Replaces a
+/// previously started listener.
+void start_listener(int port);
+
+/// Bound listener port, 0 when no listener is running.
+int listener_port();
+
+/// Starts (or re-points) the heartbeat writer: every `interval_seconds` it
+/// writes a snapshot to `path` via write-temp-then-rename, so readers never
+/// observe a torn document and a SIGKILLed process leaves the last complete
+/// snapshot behind.
+void start_heartbeat(const std::string& path, double interval_seconds = 1.0);
+
+/// True when a listener or heartbeat writer is running — the gate hot call
+/// sites (engine kernel launches) check before tagging phases.
+bool consumers_active();
+
+/// Stops the listener and heartbeat writer; the heartbeat writes one final
+/// snapshot on the way out (a SIGTERM-to-exit path leaves a fresh file).
+/// Idempotent; called from obs::finalize().
+void stop();
+
+}  // namespace ordo::obs::status

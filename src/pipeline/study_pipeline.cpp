@@ -12,6 +12,7 @@
 
 #include "check/invariants.hpp"
 #include "obs/obs.hpp"
+#include "obs/status/status.hpp"
 #include "pipeline/cancel.hpp"
 #include "pipeline/journal.hpp"
 #include "pipeline/task_pool.hpp"
@@ -123,6 +124,7 @@ StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
   auto execute = [&](std::size_t i) {
     const CorpusEntry& entry = corpus[i];
     obs::Span task_span("pipeline/task/" + entry.name);
+    obs::status::task_started(static_cast<int>(i), entry.name, timeout);
     obs::logf(obs::LogLevel::kProgress, "[%zu/%zu] %s (n=%d, nnz=%lld)", i + 1,
               n, entry.name.c_str(), static_cast<int>(entry.matrix.num_rows()),
               static_cast<long long>(entry.matrix.num_nonzeros()));
@@ -162,16 +164,23 @@ StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
       MatrixStudyRows rows = run_matrix_study(entry, task_options);
       ORDO_HISTOGRAM_RECORD("pipeline.task.seconds", watch.seconds());
       slots[i] = std::move(rows);
+      obs::status::set_phase("journal");
       if (journal) journal->append({static_cast<int>(i), *slots[i]});
       ORDO_COUNTER_ADD("pipeline.tasks.completed", 1);
+      obs::status::task_finished(/*failed=*/false, /*timed_out=*/false,
+                                 watch.seconds());
     } catch (const check::InvariantViolation& e) {
       // A contract breach inside one matrix's study is isolated like any
       // other failure, but tagged with its violation class so the failure
       // file distinguishes "wrong answer detected" from "crashed/slow".
       ORDO_COUNTER_ADD("pipeline.tasks.invariant_violations", 1);
       record_failure(e.what(), violation_kind_name(e.kind()));
+      obs::status::task_finished(/*failed=*/true, token.cancelled(),
+                                 watch.seconds());
     } catch (const std::exception& e) {
       record_failure(e.what(), std::string());
+      obs::status::task_finished(/*failed=*/true, token.cancelled(),
+                                 watch.seconds());
     }
   };
 
@@ -189,6 +198,7 @@ StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
   }
   jobs = std::max(1, jobs);
 
+  obs::status::begin_run(static_cast<std::int64_t>(n), jobs, report.resumed);
   if (jobs == 1) {
     // Sequential path: inline on the calling thread, in corpus order.
     for (std::size_t i : todo) execute(i);
@@ -200,6 +210,7 @@ StudyReport run_study_pipeline(const std::vector<CorpusEntry>& corpus,
     }
     pool.wait_idle();
   }
+  obs::status::end_run();
 
   {
     ORDO_SCOPE("pipeline/merge");

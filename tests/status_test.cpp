@@ -1,0 +1,258 @@
+// Live-telemetry suite: the StatusBoard's snapshots, the loopback /stats
+// listener and the heartbeat writer (src/obs/status/).
+//
+// The board is a process-wide singleton, so each test drives a fresh
+// begin_run/end_run cycle (begin_run resets every count) and tears its
+// consumers down with status::stop(). The HTTP round-trip speaks raw
+// sockets on purpose — it is the same client a curl in CI is, and tests
+// are outside the lint `socket` rule's src/ scope.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/status/listener.hpp"
+#include "obs/status/status.hpp"
+#include "pipeline/task_pool.hpp"
+#include "sparse/types.hpp"
+
+namespace ordo {
+namespace {
+
+namespace fs = std::filesystem;
+namespace status = obs::status;
+
+// Runs `count` synthetic study tasks through a real TaskPool so the hooks
+// fire from genuine worker threads (slot claiming is per-thread).
+void run_synthetic_tasks(int count, int workers, int fail_every = 0) {
+  pipeline::TaskPool pool(workers);
+  for (int i = 0; i < count; ++i) {
+    pool.submit([i, fail_every] {
+      status::task_started(i, "matrix_" + std::to_string(i),
+                           /*deadline_seconds=*/i % 2 == 0 ? 60.0 : 0.0);
+      status::set_phase("reorder");
+      status::set_phase("spmv");
+      const bool fail = fail_every > 0 && i % fail_every == 0;
+      status::task_finished(fail, /*timed_out=*/false, /*seconds=*/0.01);
+    });
+  }
+  pool.wait_idle();
+}
+
+TEST(StatusTest, SnapshotJsonParsesAndCarriesSchema) {
+  status::begin_run(/*total=*/4, /*workers=*/2, /*resumed=*/1);
+  run_synthetic_tasks(/*count=*/2, /*workers=*/2);
+
+  const obs::JsonValue doc = obs::parse_json(status::snapshot_json());
+  EXPECT_EQ(doc.at("schema_version").as_int(), status::kStatusSchemaVersion);
+  EXPECT_GT(doc.at("pid").as_int(), 0);
+  EXPECT_GE(doc.at("uptime_seconds").as_double(), 0.0);
+
+  const obs::JsonValue& run = doc.at("run");
+  EXPECT_TRUE(run.at("running").boolean);
+  EXPECT_EQ(run.at("total").as_int(), 4);
+  EXPECT_EQ(run.at("completed").as_int(), 2);
+  EXPECT_EQ(run.at("resumed").as_int(), 1);
+  EXPECT_NEAR(run.at("fraction").as_double(), 3.0 / 4.0, 1e-12);
+
+  // The metrics section always has its three groups, even when empty.
+  const obs::JsonValue& metrics = doc.at("metrics");
+  EXPECT_NE(metrics.find("counters"), nullptr);
+  EXPECT_NE(metrics.find("gauges"), nullptr);
+  EXPECT_NE(metrics.find("histograms"), nullptr);
+  status::end_run();
+}
+
+TEST(StatusTest, EtaAbsentNotZeroBeforeFirstCompletion) {
+  status::begin_run(/*total=*/8, /*workers=*/2, /*resumed=*/0);
+  const status::ProgressSnapshot before = status::progress();
+  EXPECT_FALSE(before.has_eta);
+  const obs::JsonValue doc = obs::parse_json(status::snapshot_json());
+  // Absent, not 0: a monitor must not render "eta 0s" on a fresh run.
+  EXPECT_EQ(doc.at("run").find("eta_seconds"), nullptr);
+
+  run_synthetic_tasks(/*count=*/1, /*workers=*/1);
+  const status::ProgressSnapshot after = status::progress();
+  EXPECT_TRUE(after.has_eta);
+  EXPECT_GT(after.eta_seconds, 0.0);
+  EXPECT_NE(obs::parse_json(status::snapshot_json())
+                .at("run")
+                .find("eta_seconds"),
+            nullptr);
+  status::end_run();
+}
+
+TEST(StatusTest, ProgressMonotonicAcrossConcurrentRun) {
+  constexpr int kTasks = 8;
+  status::begin_run(kTasks, /*workers=*/4, /*resumed=*/0);
+
+  // Sample from a separate thread for the whole run: the done count must
+  // never step backwards, and every observation stays within [0, total].
+  std::atomic<bool> stop{false};
+  std::atomic<bool> monotonic{true};
+  std::thread sampler([&stop, &monotonic] {
+    std::int64_t last_done = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const status::ProgressSnapshot p = status::progress();
+      const std::int64_t done = p.completed + p.failed;
+      if (done < last_done || done > p.total) {
+        monotonic.store(false, std::memory_order_relaxed);
+      }
+      last_done = done;
+      std::this_thread::yield();
+    }
+  });
+
+  run_synthetic_tasks(kTasks, /*workers=*/4, /*fail_every=*/3);
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+  status::end_run();
+
+  EXPECT_TRUE(monotonic.load());
+  const status::ProgressSnapshot final_p = status::progress();
+  EXPECT_EQ(final_p.completed + final_p.failed, kTasks);
+  EXPECT_GT(final_p.failed, 0);  // fail_every=3 hit indices 0, 3, 6
+  EXPECT_EQ(final_p.in_flight, 0);
+  EXPECT_FALSE(final_p.running);
+}
+
+TEST(StatusTest, InFlightWorkersCarryMatrixPhaseAndDeadline) {
+  status::begin_run(/*total=*/2, /*workers=*/1, /*resumed=*/0);
+  pipeline::TaskPool pool(1);
+  std::atomic<bool> ready{false};
+  std::atomic<bool> release{false};
+  pool.submit([&ready, &release] {
+    status::task_started(7, "stalled_matrix", /*deadline_seconds=*/120.0);
+    status::set_phase("reorder");
+    ready.store(true);
+    while (!release.load()) std::this_thread::yield();
+    status::task_finished(false, false, 0.01);
+  });
+  while (!ready.load()) std::this_thread::yield();
+
+  const std::vector<status::WorkerSnapshot> workers =
+      status::in_flight_workers();
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0].task_index, 7);
+  EXPECT_EQ(workers[0].matrix, "stalled_matrix");
+  EXPECT_EQ(workers[0].phase, "reorder");
+  EXPECT_TRUE(workers[0].has_deadline);
+  EXPECT_GT(workers[0].deadline_margin_seconds, 0.0);
+
+  release.store(true);
+  pool.wait_idle();
+  status::end_run();
+  EXPECT_TRUE(status::in_flight_workers().empty());
+}
+
+TEST(StatusTest, ListenerRejectsNonLoopbackBinds) {
+  // Loopback-only is a contract, not a default: any attempt to open the
+  // status surface to the network must throw, never silently bind.
+  EXPECT_THROW(status::StatusListener("0.0.0.0", 0), invalid_argument_error);
+  EXPECT_THROW(status::StatusListener("192.168.1.10", 0),
+               invalid_argument_error);
+  EXPECT_THROW(status::StatusListener("example.com", 0),
+               invalid_argument_error);
+}
+
+// Minimal HTTP/1.0 client: sends one GET and returns the whole response
+// (headers + body) — the same exchange CI's curl performs.
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
+    if (got <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string()
+                                    : response.substr(split + 4);
+}
+
+TEST(StatusTest, HttpStatsRoundTrip) {
+  status::start_listener(/*port=*/0);  // ephemeral: no fixed-port collisions
+  const int port = status::listener_port();
+  ASSERT_GT(port, 0);
+  EXPECT_TRUE(status::consumers_active());
+
+  status::begin_run(/*total=*/3, /*workers=*/1, /*resumed=*/0);
+  run_synthetic_tasks(/*count=*/3, /*workers=*/1);
+
+  const std::string stats = http_get(port, "/stats");
+  EXPECT_NE(stats.find("200 OK"), std::string::npos);
+  const obs::JsonValue doc = obs::parse_json(body_of(stats));
+  EXPECT_EQ(doc.at("schema_version").as_int(), status::kStatusSchemaVersion);
+  EXPECT_EQ(doc.at("run").at("completed").as_int(), 3);
+
+  const std::string healthz = http_get(port, "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_TRUE(obs::parse_json(body_of(healthz)).at("ok").boolean);
+
+  EXPECT_NE(http_get(port, "/nope").find("404"), std::string::npos);
+
+  status::end_run();
+  status::stop();
+  EXPECT_EQ(status::listener_port(), 0);
+  EXPECT_FALSE(status::consumers_active());
+}
+
+TEST(StatusTest, HeartbeatFileIsValidJsonAndSurvivesStop) {
+  const fs::path dir = fs::temp_directory_path() / "ordo_status_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "ordo_status.json").string();
+
+  status::begin_run(/*total=*/2, /*workers=*/1, /*resumed=*/0);
+  status::start_heartbeat(path, /*interval_seconds=*/0.1);
+  EXPECT_TRUE(status::consumers_active());
+  run_synthetic_tasks(/*count=*/2, /*workers=*/1);
+  status::end_run();
+  status::stop();  // writes one final snapshot on the way out
+
+  std::string text;
+  {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const obs::JsonValue doc = obs::parse_json(text);
+  EXPECT_EQ(doc.at("schema_version").as_int(), status::kStatusSchemaVersion);
+  // The final snapshot postdates end_run: the parked run must read idle
+  // with its counts intact.
+  EXPECT_FALSE(doc.at("run").at("running").boolean);
+  EXPECT_EQ(doc.at("run").at("completed").as_int(), 2);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ordo

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/status/status.hpp"
 #include "pipeline/cancel.hpp"
 #include "pipeline/journal.hpp"
 #include "pipeline/task_pool.hpp"
@@ -180,6 +181,43 @@ TEST(TsanStressTest, MetricsRegistryConcurrentRegistrationAndDumps) {
   }
   EXPECT_EQ(total, kTasks);
   EXPECT_EQ(obs::histogram("tsan.histogram").snapshot().count, kTasks);
+}
+
+TEST(TsanStressTest, StatusBoardSnapshotsDuringTaskChurn) {
+  // A monitor polls snapshot_json()/progress() from its own thread while
+  // pool workers hammer the board's per-slot atomics through the task
+  // hooks — the exact reader/writer overlap the lock-light design claims
+  // is safe, here made dense enough for TSan to prove it.
+  obs::status::begin_run(kTasks, kWorkers, /*resumed=*/0);
+  std::atomic<bool> stop{false};
+  std::thread sampler([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)obs::status::snapshot_json();
+      (void)obs::status::progress();
+      (void)obs::status::in_flight_workers();
+      std::this_thread::yield();
+    }
+  });
+  {
+    pipeline::TaskPool pool(kWorkers);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([i] {
+        obs::status::task_started(i, "churn_" + std::to_string(i % 7),
+                                  /*deadline_seconds=*/i % 2 ? 60.0 : 0.0);
+        obs::status::set_phase("reorder");
+        obs::status::set_phase("spmv");
+        obs::status::task_finished(/*failed=*/i % 9 == 0,
+                                   /*timed_out=*/false, /*seconds=*/1e-4);
+      });
+    }
+    pool.wait_idle();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+  obs::status::end_run();
+  const obs::status::ProgressSnapshot p = obs::status::progress();
+  EXPECT_EQ(p.completed + p.failed, kTasks);
+  EXPECT_EQ(p.in_flight, 0);
 }
 
 TEST(TsanStressTest, TraceSpansOverlappedWithCollection) {

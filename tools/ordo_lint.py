@@ -6,9 +6,11 @@ Rules (see docs/ARCHITECTURE.md "Correctness tooling" for rationale):
   random         src/ only. No rand()/srand()/std::random_device: every
                  random choice in the library must flow through the seeded,
                  deterministic generators (reproducible studies).
-  thread         src/ only, src/pipeline/ exempt. No naked std::thread:
-                 concurrency lives behind the pipeline scheduler so error
-                 isolation, cancellation and TSan coverage stay centralised.
+  thread         src/ only, src/pipeline/ and src/obs/status/ exempt. No
+                 naked std::thread: concurrency lives behind the pipeline
+                 scheduler so error isolation, cancellation and TSan
+                 coverage stay centralised (the status listener/heartbeat
+                 service threads are the deliberate exception).
   io             src/ only, src/obs/ and src/core/gnuplot.* exempt. No
                  printf/std::cout/std::cerr console output: the library
                  reports through ordo::obs (snprintf/vsnprintf formatting
@@ -17,6 +19,10 @@ Rules (see docs/ARCHITECTURE.md "Correctness tooling" for rationale):
                  #pragma omp: OpenMP parallelism lives behind the engine's
                  registered kernels — other layers consume prepared plans
                  (engine::prepare_plan / engine::spmv), never raw threads.
+  socket         src/ only, src/obs/status/ exempt. No raw POSIX sockets
+                 (::socket/::bind/::listen/::accept/::connect or the
+                 <sys/socket.h> family): the loopback-only status listener
+                 is the single sanctioned network surface in the library.
   float-eq       src/ only. No == / != on floating-point values (float
                  literals, or identifiers declared double/float in the same
                  file). Use explicit tolerances — or suppress where exact
@@ -122,6 +128,9 @@ CHRONO_RE = re.compile(r"\bstd::chrono\b")
 IO_RE = re.compile(
     r"\bstd::c(?:out|err|log)\b|(?<![\w:])(?:f|v|vf)?printf\s*\(|(?<![\w:])f?puts\s*\(")
 OMP_RE = re.compile(r"#\s*pragma\s+omp\b")
+SOCKET_RE = re.compile(
+    r"::\s*(?:socket|bind|listen|accept|connect)\s*\("
+    r"|<sys/socket\.h>|<netinet/|<arpa/inet\.h>")
 
 
 def io_exempt(relpath):
@@ -134,6 +143,20 @@ def omp_exempt(relpath):
     return relpath.startswith(
         (os.path.join("src", "engine") + os.sep,
          os.path.join("src", "spmv") + os.sep))
+
+
+def thread_exempt(relpath):
+    # The pipeline scheduler owns worker threads; the status listener and
+    # heartbeat writer each need one detachable service thread (they cannot
+    # run on pool workers — they must keep serving while the pool is busy).
+    return relpath.startswith(
+        (os.path.join("src", "pipeline") + os.sep,
+         os.path.join("src", "obs", "status") + os.sep))
+
+
+def socket_exempt(relpath):
+    return relpath.startswith(
+        os.path.join("src", "obs", "status") + os.sep)
 
 
 def chrono_exempt(relpath):
@@ -251,10 +274,16 @@ def lint_file(path):
             check(lineno, "random", RANDOM_RE.search(code),
                   "non-deterministic RNG in library code — use the seeded "
                   "generators (reproducible studies)")
-            if not relpath.startswith(os.path.join("src", "pipeline") + os.sep):
+            if not thread_exempt(relpath):
                 check(lineno, "thread", THREAD_RE.search(code),
-                      "naked std::thread outside src/pipeline/ — run work "
-                      "through the pipeline scheduler")
+                      "naked std::thread outside src/pipeline/ and "
+                      "src/obs/status/ — run work through the pipeline "
+                      "scheduler")
+            if not socket_exempt(relpath):
+                check(lineno, "socket", SOCKET_RE.search(code),
+                      "raw socket call outside src/obs/status/ — the "
+                      "loopback status listener is the only sanctioned "
+                      "network surface")
             if not io_exempt(relpath):
                 check(lineno, "io", IO_RE.search(code),
                       "console I/O in library code — report through "
@@ -336,6 +365,10 @@ void scale(std::vector<double>& v) {
 #pragma omp parallel for
   for (auto& x : v) x *= 2.0;
 }
+
+int open_backdoor() {
+  return ::socket(2, 1, 0);
+}
 """
 
 SEEDED_SUPPRESSED = """\
@@ -375,8 +408,8 @@ def self_test():
             REPO_ROOT = saved_root
 
         fired = {v.rule for v in bad_violations}
-        for rule in ("random", "thread", "io", "omp", "chrono", "float-eq",
-                     "include-order"):
+        for rule in ("random", "thread", "io", "omp", "chrono", "socket",
+                     "float-eq", "include-order"):
             if rule not in fired:
                 failures.append(f"rule '{rule}' did not fire on seeded code")
         if "pragma-once" not in {v.rule for v in hdr_violations}:
