@@ -7,6 +7,14 @@
 // typically the slowest, with reordering time spanning several orders of
 // magnitude relative to one SpMV iteration. (Absolute times differ — these
 // are scaled-down stand-ins and our own serial implementations.)
+//
+// Besides the printed table, the measurements land in
+// <results dir>/reorder_times.txt (one `name rows nnz ordering ms` line per
+// cell) — the calibration input for the selector's committed reorder-cost
+// model (tools/ordo_train_selector.py --costs).
+#include <filesystem>
+#include <fstream>
+
 #include "bench_common.hpp"
 
 using namespace ordo;
@@ -29,6 +37,12 @@ int main() {
   }
   std::printf(" %10s\n", "SpMV[ms]");
 
+  const std::string times_path =
+      default_results_dir() + "/reorder_times.txt";
+  std::filesystem::create_directories(default_results_dir());
+  std::ofstream times(times_path);
+  times << "# name rows nnz ordering milliseconds\n";
+
   for (const std::string& name : matrices) {
     const CorpusEntry entry = generate_named(name, scale);
     std::printf("%-18s %8lld", entry.name.c_str(),
@@ -39,7 +53,11 @@ int main() {
       obs::Stopwatch watch;
       const Ordering ordering = compute_ordering(entry.matrix, kind, reorder);
       (void)ordering;
-      std::printf(" %8.1f", watch.millis());
+      const double ms = watch.millis();
+      times << entry.name << ' ' << entry.matrix.num_rows() << ' '
+            << entry.matrix.num_nonzeros() << ' ' << ordering_name(kind)
+            << ' ' << ms << '\n';
+      std::printf(" %8.1f", ms);
     }
     const SpmvEstimate spmv =
         estimate_spmv(entry.matrix, SpmvKernel::k1D, icelake, model);

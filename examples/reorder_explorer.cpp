@@ -4,28 +4,84 @@
 // the workflow of the paper's released reordering utilities.
 //
 //   ./reorder_explorer <matrix.mtx | stand-in-name> <ordering> [out.mtx]
+//   ./reorder_explorer <matrix.mtx | stand-in-name> --auto [budget]
 //
 // ordering: Original, RCM, AMD, ND, GP, HP, Gray (or Random/DegSort).
+// --auto asks the trained selector (src/select) instead: it prints the
+// predicted speedup, reorder cost, amortized net time, and amortization
+// point for every study ordering, then the recommendation for a budget of
+// [budget] SpMV calls (default: the study's --spmv-budget default).
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "features/features.hpp"
+#include "select/select.hpp"
 #include "sparse/matrix_market.hpp"
 
 using namespace ordo;
+
+namespace {
+
+// The --auto path: score all orderings with the committed model against the
+// Ice Lake 1-D modeled baseline and print the full amortization table.
+int explore_auto(const CsrMatrix& a, double budget) {
+  const Architecture& arch = architecture_by_name("Ice Lake");
+  const ModelOptions model = model_options_from_env();
+  const double baseline =
+      estimate_spmv(a, SpmvKernel::k1D, arch, model).seconds;
+
+  select::SelectorOptions options;
+  options.spmv_budget = budget;
+  const select::Decision decision = select::select_ordering(
+      a, SpmvKernel::k1D, arch.cores, baseline, options);
+
+  std::printf("\nselector (model v%d, %s 1D baseline %.3e s/call, "
+              "budget %g calls):\n",
+              select::model_version(), arch.name.c_str(), baseline, budget);
+  std::printf("%-9s %9s %12s %12s %14s\n", "ordering", "speedup",
+              "reorder[s]", "net[s/call]", "amortizes-at");
+  const auto kinds = study_orderings();
+  for (std::size_t k = 0; k < select::kNumOrderings; ++k) {
+    const double amortize = select::amortization_point(
+        decision.predicted_reorder_seconds[k], baseline,
+        baseline / decision.predicted_speedup[k]);
+    std::string when = "-";
+    if (k > 0) {
+      when = amortize == select::kNeverAmortizes
+                 ? "never"
+                 : std::to_string(static_cast<long long>(amortize) + 1) +
+                       " calls";
+    }
+    std::printf("%-9s %8.2fx %12.4e %12.4e %14s%s\n",
+                ordering_name(kinds[k]).c_str(), decision.predicted_speedup[k],
+                decision.predicted_reorder_seconds[k],
+                decision.predicted_net_seconds[k], when.c_str(),
+                static_cast<int>(k) == decision.pick ? "  <-- pick" : "");
+  }
+  std::printf("\nrecommendation: %s\n",
+              ordering_name(kinds[static_cast<std::size_t>(decision.pick)])
+                  .c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <matrix.mtx | stand-in-name> <ordering> [out.mtx]\n"
+                 "       %s <matrix.mtx | stand-in-name> --auto [budget]\n"
                  "orderings: Original RCM AMD ND GP HP Gray Random DegSort\n",
-                 argv[0]);
+                 argv[0], argv[0]);
     return 2;
   }
   const std::string source = argv[1];
-  const OrderingKind kind = parse_ordering_name(argv[2]);
+  const bool auto_mode = std::string(argv[2]) == "--auto";
+  const OrderingKind kind =
+      auto_mode ? OrderingKind::kOriginal : parse_ordering_name(argv[2]);
 
   CsrMatrix a;
   if (std::filesystem::exists(source)) {
@@ -40,6 +96,12 @@ int main(int argc, char** argv) {
                 entry.name.c_str(), entry.group.c_str(),
                 static_cast<int>(a.num_rows()), static_cast<int>(a.num_cols()),
                 static_cast<long long>(a.num_nonzeros()));
+  }
+
+  if (auto_mode) {
+    const double budget =
+        argc > 3 ? std::atof(argv[3]) : select::SelectorOptions{}.spmv_budget;
+    return explore_auto(a, budget);
   }
 
   const int threads = 128;

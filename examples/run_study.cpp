@@ -7,7 +7,15 @@
 //               [--task-timeout S] [--resume|--no-resume] [--verbose]
 //               [--log quiet|progress|debug] [--kernels id,id,...]
 //               [--list-kernels] [--allow-nondeterministic] [--hw]
-//               [--status-port P] [--status-file PATH]
+//               [--status-port P] [--status-file PATH] [--auto-order]
+//               [--spmv-budget N] [--export-features FILE]
+//
+// Auto-order (the learned selector, src/select/): --auto-order runs the
+// committed model over every row, appends per-matrix pick / oracle / regret
+// columns to the result files, and prints the aggregate oracle-gap summary;
+// --spmv-budget sets the N in "pays off within N SpMV calls".
+// --export-features writes the schema-versioned selector feature vectors
+// (one JSON line per matrix × thread count) for tools/ordo_train_selector.py.
 //
 // Live telemetry: --status-port serves GET /stats + /healthz on loopback
 // (poll it with tools/ordo_top.py) and mirrors snapshots to
@@ -32,6 +40,7 @@
 #include <set>
 #include <string>
 
+#include "core/auto_order.hpp"
 #include "core/experiment.hpp"
 #include "engine/engine.hpp"
 #include "obs/hw/membw.hpp"
@@ -118,11 +127,25 @@ void print_usage(std::FILE* out, const char* argv0) {
                "heartbeat JSON to PATH\n"
                "                     instead (= ORDO_STATUS_FILE; usable "
                "without --status-port)\n"
+               "  --auto-order       run the learned ordering selector "
+               "(src/select/) over every\n"
+               "                     row: appends per-matrix pick / oracle / "
+               "regret columns to the\n"
+               "                     result files and prints the aggregate "
+               "oracle-gap summary\n"
+               "  --spmv-budget N    SpMV calls the one-off reorder cost is "
+               "amortized over in the\n"
+               "                     auto-order net times (default %.0f)\n"
+               "  --export-features FILE\n"
+               "                     write the selector feature vectors "
+               "(schema-versioned JSON\n"
+               "                     lines, one per matrix x thread count) "
+               "and continue\n"
                "  --verbose          shorthand for --log progress\n"
                "  --log LEVEL        quiet|progress|debug (default quiet, or "
                "ORDO_LOG)\n"
                "  --help             this message\n",
-               argv0, CorpusOptions{}.count);
+               argv0, CorpusOptions{}.count, StudyOptions{}.spmv_budget);
 }
 
 }  // namespace
@@ -135,6 +158,7 @@ int main(int argc, char** argv) {
   std::string out_dir = default_results_dir();
   int status_port = -1;        // -1 = not requested (0 = ephemeral)
   std::string status_file;
+  std::string features_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -171,6 +195,12 @@ int main(int argc, char** argv) {
       status_port = std::atoi(next());
     } else if (arg == "--status-file") {
       status_file = next();
+    } else if (arg == "--auto-order") {
+      study.auto_order = true;
+    } else if (arg == "--spmv-budget") {
+      study.spmv_budget = std::atof(next());
+    } else if (arg == "--export-features") {
+      features_file = next();
     } else if (arg == "--verbose") {
       study.verbose = true;
     } else if (arg == "--log") {
@@ -197,8 +227,11 @@ int main(int argc, char** argv) {
     status_file = (std::filesystem::path(out_dir) / "ordo_status.json").string();
   }
   if (!status_file.empty()) {
-    std::filesystem::create_directories(
-        std::filesystem::path(status_file).parent_path());
+    // A bare filename has an empty parent_path, which create_directories
+    // rejects as an invalid argument.
+    const std::filesystem::path parent =
+        std::filesystem::path(status_file).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
     obs::status::start_heartbeat(status_file);
   }
 
@@ -224,6 +257,52 @@ int main(int argc, char** argv) {
                   corpus.count - static_cast<int>(rows.size()), out_dir.c_str(),
                   pipeline::kFailuresFilename);
     }
+  }
+
+  if (!features_file.empty()) {
+    write_feature_export(features_file, results);
+    std::printf("feature vectors (schema v%d) -> %s\n",
+                features::kSelectorFeatureVersion, features_file.c_str());
+  }
+
+  if (study.auto_order) {
+    // Per-(machine, kernel) oracle-gap table plus the all-rows aggregate.
+    // "net/call" figures are geomean per-call seconds including the
+    // amortized reorder cost; the selector must beat the best single fixed
+    // ordering for the policy to be worth shipping.
+    std::printf(
+        "\nauto-order selector (model v%d, budget %.0f SpMV calls/matrix):\n"
+        "  %-10s %-8s %9s %11s %12s %12s %16s\n",
+        select::model_version(), study.spmv_budget, "machine", "kernel",
+        "hit-rate", "mean-regret", "pick net[s]", "oracle gap",
+        "best fixed net[s]");
+    auto print_summary = [](const SelectionSummary& s) {
+      const auto kinds = study_orderings();
+      std::printf(
+          "  %-10s %-8s %8.1f%% %10.2f%% %12.3e %11.2f%% %12.3e (%s)\n",
+          s.machine.c_str(), s.kernel_id.c_str(), 100.0 * s.hit_rate(),
+          100.0 * s.mean_regret, s.geomean_pick_net, 100.0 * s.oracle_gap(),
+          s.geomean_fixed_net[static_cast<std::size_t>(s.best_fixed)],
+          ordering_name(kinds[static_cast<std::size_t>(s.best_fixed)])
+              .c_str());
+    };
+    for (const SelectionSummary& s : summarize_selection(results, study)) {
+      print_summary(s);
+    }
+    const SelectionSummary total = total_selection_summary(results, study);
+    print_summary(total);
+    std::printf(
+        "  overall: selector %s the best fixed ordering by %.2f%% on "
+        "geomean net time (oracle gap %.2f%%)\n",
+        total.win_over_best_fixed() >= 0.0 ? "beats" : "LOSES TO",
+        100.0 * total.win_over_best_fixed(), 100.0 * total.oracle_gap());
+    std::printf("  pick distribution:");
+    const auto kinds = study_orderings();
+    for (std::size_t k = 0; k < select::kNumOrderings; ++k) {
+      std::printf(" %s=%lld", ordering_name(kinds[k]).c_str(),
+                  static_cast<long long>(total.picks[k]));
+    }
+    std::printf("\n");
   }
 
   if (study.hw_counters) {

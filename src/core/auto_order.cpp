@@ -1,0 +1,206 @@
+#include "core/auto_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "obs/obs.hpp"
+
+namespace ordo {
+namespace {
+
+// Accumulates log-space sums for the geometric means of one summary.
+struct SummaryAccumulator {
+  SelectionSummary summary;
+  double log_pick_net = 0.0;
+  double log_oracle_net = 0.0;
+  std::array<double, select::kNumOrderings> log_fixed_net{};
+  double regret_sum = 0.0;
+
+  void add_row(const MeasurementRow& row, const StudyOptions& options) {
+    require(row.has_select,
+            "summarize_selection: rows lack selection columns — run with "
+            "auto_order or annotate_study_with_selection first");
+    ++summary.rows;
+    if (row.pick == row.oracle) ++summary.oracle_hits;
+    summary.picks[static_cast<std::size_t>(row.pick)] += 1;
+    regret_sum += row.regret;
+    summary.max_regret = std::max(summary.max_regret, row.regret);
+    log_pick_net += std::log(row.pick_net_seconds);
+    log_oracle_net += std::log(row.oracle_net_seconds);
+    for (std::size_t k = 0; k < select::kNumOrderings; ++k) {
+      const double net = select::net_seconds_per_call(
+          row.orderings[k].seconds,
+          select::predicted_reorder_seconds(k, row.rows, row.nnz),
+          options.spmv_budget);
+      log_fixed_net[k] += std::log(net);
+    }
+  }
+
+  SelectionSummary finish() {
+    if (summary.rows > 0) {
+      const double n = static_cast<double>(summary.rows);
+      summary.mean_regret = regret_sum / n;
+      summary.geomean_pick_net = std::exp(log_pick_net / n);
+      summary.geomean_oracle_net = std::exp(log_oracle_net / n);
+      for (std::size_t k = 0; k < select::kNumOrderings; ++k) {
+        summary.geomean_fixed_net[k] = std::exp(log_fixed_net[k] / n);
+      }
+      for (std::size_t k = 1; k < select::kNumOrderings; ++k) {
+        if (summary.geomean_fixed_net[k] <
+            summary.geomean_fixed_net[static_cast<std::size_t>(
+                summary.best_fixed)]) {
+          summary.best_fixed = static_cast<int>(k);
+        }
+      }
+    }
+    return summary;
+  }
+};
+
+features::SelectorFeatures row_features(const MeasurementRow& row,
+                                        double imbalance_1d) {
+  const OrderingMeasurement& original = row.orderings.front();
+  return features::make_selector_features(
+      row.rows, row.nnz, original.bandwidth, original.profile,
+      original.off_diagonal_nnz, imbalance_1d, row.threads);
+}
+
+void annotate_row(MeasurementRow& row, const MeasurementRow& row_1d,
+                  const std::string& kernel_id, const StudyOptions& options) {
+  require(row.orderings.size() == select::kNumOrderings,
+          "annotate_row: row must carry all study orderings");
+  select::SelectorOptions selector_options;
+  selector_options.spmv_budget = options.spmv_budget;
+
+  const double imbalance_1d = row_1d.orderings.front().imbalance;
+  const features::SelectorFeatures f = row_features(row, imbalance_1d);
+  const select::Decision decision = select::select_ordering(
+      f, row.orderings.front().seconds, row.rows, row.nnz, kernel_id,
+      selector_options);
+
+  // Realized net per-call seconds: the *modeled* kernel time the study
+  // actually recorded for each ordering, plus the same committed reorder
+  // cost the selector priced — so pick and oracle are compared on equal
+  // footing and regret is >= 0 by construction.
+  std::array<double, select::kNumOrderings> net{};
+  int oracle = 0;
+  for (std::size_t k = 0; k < select::kNumOrderings; ++k) {
+    net[k] = select::net_seconds_per_call(
+        row.orderings[k].seconds,
+        select::predicted_reorder_seconds(k, row.rows, row.nnz),
+        options.spmv_budget);
+    if (net[k] < net[static_cast<std::size_t>(oracle)]) {
+      oracle = static_cast<int>(k);
+    }
+  }
+  const auto pick = static_cast<std::size_t>(decision.pick);
+  row.has_select = true;
+  row.pick = decision.pick;
+  row.oracle = oracle;
+  row.pick_net_seconds = net[pick];
+  row.oracle_net_seconds = net[static_cast<std::size_t>(oracle)];
+  row.regret = row.oracle_net_seconds > 0.0
+                   ? row.pick_net_seconds / row.oracle_net_seconds - 1.0
+                   : 0.0;
+  row.pick_amortize_calls =
+      decision.pick == 0
+          ? 0.0
+          : select::amortization_point(
+                select::predicted_reorder_seconds(pick, row.rows, row.nnz),
+                row.orderings.front().seconds, row.orderings[pick].seconds);
+  select::record_decision(row.pick, row.oracle, row.regret,
+                          row.pick_amortize_calls);
+}
+
+}  // namespace
+
+void annotate_rows_with_selection(MatrixStudyRows& rows,
+                                  const StudyOptions& options) {
+  ORDO_SCOPE("study/auto_order");
+  for (auto& [key, row] : rows) {
+    const auto it_1d = rows.find({key.first, SpmvKernel::k1D});
+    require(it_1d != rows.end(),
+            "annotate_rows_with_selection: csr_1d row missing for machine " +
+                key.first);
+    annotate_row(row, it_1d->second, key.second.id(), options);
+  }
+}
+
+void annotate_study_with_selection(StudyResults& results,
+                                   const StudyOptions& options) {
+  ORDO_SCOPE("study/auto_order_cached");
+  for (auto& [key, rows] : results) {
+    const auto it_1d = results.find({key.first, SpmvKernel::k1D});
+    require(it_1d != results.end() && it_1d->second.size() == rows.size(),
+            "annotate_study_with_selection: csr_1d table missing or "
+            "mismatched for machine " +
+                key.first);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      require(rows[i].name == it_1d->second[i].name,
+              "annotate_study_with_selection: table row order mismatch");
+      annotate_row(rows[i], it_1d->second[i], key.second.id(), options);
+    }
+  }
+}
+
+bool study_rows_have_selection(const StudyResults& results) {
+  bool any = false;
+  for (const auto& [key, rows] : results) {
+    for (const MeasurementRow& row : rows) {
+      if (!row.has_select) return false;
+      any = true;
+    }
+  }
+  return any;
+}
+
+std::vector<SelectionSummary> summarize_selection(const StudyResults& results,
+                                                  const StudyOptions& options) {
+  std::vector<SelectionSummary> summaries;
+  summaries.reserve(results.size());
+  for (const auto& [key, rows] : results) {
+    SummaryAccumulator acc;
+    acc.summary.machine = key.first;
+    acc.summary.kernel_id = key.second.id();
+    for (const MeasurementRow& row : rows) acc.add_row(row, options);
+    summaries.push_back(acc.finish());
+  }
+  return summaries;
+}
+
+SelectionSummary total_selection_summary(const StudyResults& results,
+                                         const StudyOptions& options) {
+  SummaryAccumulator acc;
+  // Moved temporaries, not assign(const char*): GCC 12 emits a -Wrestrict
+  // false positive on the strlen-based assign path in this inlining context.
+  acc.summary.machine = std::string("*");
+  acc.summary.kernel_id = std::string("*");
+  for (const auto& [key, rows] : results) {
+    for (const MeasurementRow& row : rows) acc.add_row(row, options);
+  }
+  return acc.finish();
+}
+
+void write_feature_export(const std::string& path,
+                          const StudyResults& results) {
+  std::ofstream out(path);
+  require(out.good(), "write_feature_export: cannot open " + path);
+  // Features are kernel- and machine-independent apart from the thread
+  // count, so one line per (matrix, distinct thread count) covers the whole
+  // study. The csr_1d tables carry the 1D-imbalance feature column.
+  std::set<std::pair<std::string, int>> seen;
+  for (const auto& [key, rows] : results) {
+    if (key.second != SpmvKernel::k1D) continue;
+    for (const MeasurementRow& row : rows) {
+      if (!seen.insert({row.name, row.threads}).second) continue;
+      const features::SelectorFeatures f =
+          row_features(row, row.orderings.front().imbalance);
+      out << features::selector_features_json(row.name, row.threads, f)
+          << '\n';
+    }
+  }
+}
+
+}  // namespace ordo

@@ -1,0 +1,100 @@
+// The --auto-order study mode: runs the learned selector (src/select/) over
+// finished measurement rows and attaches pick / oracle / regret columns.
+//
+// The annotation is a pure function of data already in the rows — the
+// Original ordering's feature columns feed the selector, the modeled
+// per-ordering seconds plus the committed reorder-cost model decide the
+// oracle — so the same code path annotates rows freshly computed by
+// run_matrix_study (before they are journaled) and rows loaded from cache
+// files that predate the mode. Cache files store 9 significant digits, so a
+// re-annotation agrees with the fresh computation to that precision (same
+// picks, same printed columns) and rewriting is a fixed point: annotating
+// what a previous --auto-order run wrote reproduces the bytes exactly.
+//
+// Definitions (see DESIGN.md §12):
+//   net_k    = seconds_k + predicted_reorder_seconds_k / spmv_budget
+//   oracle   = argmin_k net_k          (ties break to the lower study index)
+//   regret   = net_pick / net_oracle - 1   (>= 0 by construction)
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "select/select.hpp"
+
+namespace ordo {
+
+/// Annotates one matrix's rows (every machine × kernel) with the selector's
+/// decision and records each decision in select:: stats. Requires the
+/// studied csr_1d rows to be present (they carry the 1D-imbalance feature).
+void annotate_rows_with_selection(MatrixStudyRows& rows,
+                                  const StudyOptions& options);
+
+/// Annotates a full study — the path taken when --auto-order loads a cached
+/// sweep whose files predate the mode. Already-annotated rows are recomputed
+/// to identical values.
+void annotate_study_with_selection(StudyResults& results,
+                                   const StudyOptions& options);
+
+/// True when every row of the study carries selection columns.
+bool study_rows_have_selection(const StudyResults& results);
+
+/// Aggregate oracle-gap statistics for one (machine, kernel) table — or,
+/// from total_selection_summary, for the whole study. All "net" figures are
+/// geometric means over matrices of net per-call seconds (kernel time plus
+/// the amortized reorder cost).
+struct SelectionSummary {
+  std::string machine;    ///< "*" in the all-tables total
+  std::string kernel_id;  ///< "*" in the all-tables total
+  std::int64_t rows = 0;
+  std::int64_t oracle_hits = 0;
+  double mean_regret = 0.0;
+  double max_regret = 0.0;
+  double geomean_pick_net = 0.0;
+  double geomean_oracle_net = 0.0;
+  /// Geomean net of always applying one fixed ordering, indexed like
+  /// study_orderings(); entry 0 is "never reorder".
+  std::array<double, select::kNumOrderings> geomean_fixed_net{};
+  int best_fixed = 0;  ///< argmin over geomean_fixed_net
+  std::array<std::int64_t, select::kNumOrderings> picks{};
+
+  double hit_rate() const {
+    return rows > 0 ? static_cast<double>(oracle_hits) /
+                          static_cast<double>(rows)
+                    : 0.0;
+  }
+  /// How far the selector lands from the per-matrix oracle, geomean terms.
+  double oracle_gap() const {
+    return geomean_oracle_net > 0.0
+               ? geomean_pick_net / geomean_oracle_net - 1.0
+               : 0.0;
+  }
+  /// Positive when the selector beats the best single fixed ordering.
+  double win_over_best_fixed() const {
+    return geomean_pick_net > 0.0
+               ? geomean_fixed_net[static_cast<std::size_t>(best_fixed)] /
+                         geomean_pick_net -
+                     1.0
+               : 0.0;
+  }
+};
+
+/// One summary per (machine, kernel) table, in StudyResults order. Requires
+/// annotated rows.
+std::vector<SelectionSummary> summarize_selection(const StudyResults& results,
+                                                  const StudyOptions& options);
+
+/// The same aggregates over every row of every table.
+SelectionSummary total_selection_summary(const StudyResults& results,
+                                         const StudyOptions& options);
+
+/// Writes the schema-versioned feature-vector export: one JSON line per
+/// (matrix, distinct thread count), via features::selector_features_json.
+/// This is the interchange format tools/ordo_train_selector.py documents —
+/// the C++ feature schema made inspectable (run_study --export-features).
+void write_feature_export(const std::string& path,
+                          const StudyResults& results);
+
+}  // namespace ordo

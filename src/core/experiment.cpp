@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "check/check.hpp"
+#include "core/auto_order.hpp"
 #include "engine/engine.hpp"
 #include "features/features.hpp"
 #include "obs/obs.hpp"
@@ -311,6 +312,13 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
       rows.emplace(std::make_pair(arch.name, kernel), std::move(row));
     }
   }
+  // The selector annotation happens here — inside the task, before the rows
+  // reach the journal — so resumed runs replay decisions instead of
+  // recomputing them, and the live `select` status section fills in as the
+  // sweep progresses. It is a pure function of the row data (see
+  // core/auto_order.hpp), which is what lets load_or_run_study apply the
+  // same annotation to cached files.
+  if (options.auto_order) annotate_rows_with_selection(rows, options);
   return rows;
 }
 
@@ -347,10 +355,15 @@ void write_results_file(const std::string& path,
   // artifact's exact 54-column layout (and stay byte-identical to the
   // committed result files). Readers sniff the header for ":hw_valid".
   bool with_hw = false;
+  // The selector columns follow the same sniffing contract: appended (after
+  // every ordering block) only when rows carry them, tagged "select:pick" in
+  // the header. Default sweeps keep the artifact layout byte-identical.
+  bool with_select = false;
   for (const MeasurementRow& row : rows) {
     for (const OrderingMeasurement& m : row.orderings) {
       with_hw = with_hw || m.has_hw;
     }
+    with_select = with_select || row.has_select;
   }
   out << "# group name rows cols nnz threads";
   for (OrderingKind kind : study_orderings()) {
@@ -363,6 +376,10 @@ void write_results_file(const std::string& path,
       out << ' ' << n << ":hw_valid " << n << ":hw_ipc " << n
           << ":hw_llc_miss_rate " << n << ":hw_gbps " << n << ":hw_seconds";
     }
+  }
+  if (with_select) {
+    out << " select:pick select:oracle select:regret select:pick_net_s"
+           " select:oracle_net_s select:amortize_calls";
   }
   out << '\n';
   out.precision(9);
@@ -379,6 +396,15 @@ void write_results_file(const std::string& path,
             << m.hw_llc_miss_rate << ' ' << m.hw_gbps << ' ' << m.hw_seconds;
       }
     }
+    if (with_select) {
+      // Picks are written by ordering name (human-auditable; parsed back
+      // through parse_ordering_name).
+      const auto kinds = study_orderings();
+      out << ' ' << ordering_name(kinds[static_cast<std::size_t>(row.pick)])
+          << ' ' << ordering_name(kinds[static_cast<std::size_t>(row.oracle)])
+          << ' ' << row.regret << ' ' << row.pick_net_seconds << ' '
+          << row.oracle_net_seconds << ' ' << row.pick_amortize_calls;
+    }
     out << '\n';
   }
 }
@@ -388,11 +414,15 @@ std::vector<MeasurementRow> read_results_file(const std::string& path) {
   require(in.good(), "read_results_file: cannot open " + path);
   std::vector<MeasurementRow> rows;
   std::string line;
-  bool with_hw = false;  // sniffed from the header (see write_results_file)
+  bool with_hw = false;      // sniffed from the header (see write_results_file)
+  bool with_select = false;  // likewise
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') {
       if (!line.empty() && line.find(":hw_valid") != std::string::npos) {
         with_hw = true;
+      }
+      if (!line.empty() && line.find("select:pick") != std::string::npos) {
+        with_select = true;
       }
       continue;
     }
@@ -412,6 +442,28 @@ std::vector<MeasurementRow> read_results_file(const std::string& path) {
         m.has_hw = valid != 0;
       }
       row.orderings.push_back(m);
+    }
+    if (with_select) {
+      const auto kinds = study_orderings();
+      auto ordering_index = [&](const std::string& name) {
+        const OrderingKind kind = parse_ordering_name(name);
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+          if (kinds[k] == kind) return static_cast<int>(k);
+        }
+        throw invalid_argument_error(
+            "read_results_file: ordering '" + name +
+            "' is not a study ordering in " + path);
+      };
+      std::string pick_name;
+      std::string oracle_name;
+      fields >> pick_name >> oracle_name >> row.regret >>
+          row.pick_net_seconds >> row.oracle_net_seconds >>
+          row.pick_amortize_calls;
+      if (!fields.fail()) {
+        row.pick = ordering_index(pick_name);
+        row.oracle = ordering_index(oracle_name);
+        row.has_select = true;
+      }
     }
     require(!fields.fail(), "read_results_file: malformed row in " + path);
     rows.push_back(std::move(row));
@@ -454,6 +506,26 @@ StudyResults load_or_run_study(const std::string& dir,
                                               corpus_options.count))
                 .string());
       }
+    }
+    // An --auto-order run over a cached sweep annotates the loaded rows (a
+    // pure function of the row data — identical to what a fresh sweep
+    // computes in-task) and rewrites the files so the pick / regret columns
+    // land on disk. Unconditional so a changed budget or retrained model
+    // always supersedes columns from an earlier annotation; the measurement
+    // columns are untouched.
+    if (options.auto_order) {
+      annotate_study_with_selection(results, options);
+      for (const Architecture& arch : machines) {
+        for (const SpmvKernel& kernel : kernels) {
+          write_results_file(
+              (fs::path(dir) /
+               results_filename(kernel, arch, corpus_options.count))
+                  .string(),
+              results.at({arch.name, kernel}));
+        }
+      }
+      obs::logf(obs::LogLevel::kProgress,
+                "auto-order: annotated cached study in %s", dir.c_str());
     }
     return results;
   }

@@ -55,6 +55,24 @@ struct MeasurementRow {
   int threads = 0;
   /// Indexed like study_orderings(): Original, RCM, AMD, ND, GP, HP, Gray.
   std::vector<OrderingMeasurement> orderings;
+
+  // --- learned-selector columns (StudyOptions::auto_order) ---
+  // Attached by src/core/auto_order.{hpp,cpp}: the selector's pick from the
+  // Original-ordering features alone, the oracle ordering under the same
+  // net-time objective, and the realized regret. Net times are per-call
+  // seconds including the committed reorder-cost model amortized over the
+  // run's SpMV budget. has_select stays false in default sweeps, so legacy
+  // result files keep the artifact's exact column layout.
+  bool has_select = false;
+  int pick = 0;    ///< index into study_orderings()
+  int oracle = 0;  ///< argmin over the realized net times
+  double regret = 0.0;  ///< pick_net / oracle_net - 1; >= 0 by construction
+  double pick_net_seconds = 0.0;
+  double oracle_net_seconds = 0.0;
+  /// SpMV calls until the pick's reorder cost is recovered vs Original;
+  /// 0 when the pick is Original, select::kNeverAmortizes (-1) when the
+  /// pick never beats Original per call.
+  double pick_amortize_calls = 0.0;
 };
 
 /// SpMV speedups over the original ordering for the six reorderings of
@@ -109,6 +127,19 @@ struct StudyOptions {
   /// that the journal fingerprint includes the hw configuration, so mixing
   /// hw and non-hw runs never replays stale rows.
   bool hw_counters = false;
+
+  // --- learned ordering selector (see src/select/ and core/auto_order.hpp) ---
+  /// Run the selector over every finished row and attach pick / oracle /
+  /// regret columns (run_study --auto-order). Fully deterministic: the
+  /// selector reads committed model tables and the reorder cost is a
+  /// committed model, never a wall clock, so annotated results stay
+  /// byte-identical across --jobs values and resume. The journal fingerprint
+  /// includes this flag, the budget, and the model fingerprint.
+  bool auto_order = false;
+  /// N in "does the reordering pay off within N SpMV calls?" — the budget
+  /// the one-off reorder cost is amortized over in every net-time column
+  /// (run_study --spmv-budget). Must match select::SelectorOptions default.
+  double spmv_budget = 10000.0;
 };
 
 /// The resolved kernel set of a sweep: the studied pair (always first, in

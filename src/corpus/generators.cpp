@@ -134,7 +134,7 @@ CsrMatrix gen_road_network(index_t n, std::uint64_t seed) {
 
   std::uniform_real_distribution<double> uniform(0.0, 1.0);
   for (index_t i = 0; i < n; ++i) {
-    const index_t x = i % side, y = i / side;
+    const index_t x = i % side;
     coo.add(label[static_cast<std::size_t>(i)],
             label[static_cast<std::size_t>(i)], diag_for_degree(3));
     // Connect to the right/down grid neighbour with high probability (road

@@ -1,0 +1,71 @@
+#include "features/feature_vector.hpp"
+
+#include <cmath>
+
+#include "features/features.hpp"
+#include "obs/json.hpp"
+
+namespace ordo::features {
+namespace {
+
+double log2_1p(double v) { return std::log2(1.0 + v); }
+
+}  // namespace
+
+const std::array<std::string, kSelectorFeatureCount>& selector_feature_names() {
+  static const std::array<std::string, kSelectorFeatureCount> names = {
+      "log2_rows",    "log2_nnz",     "mean_row_nnz", "rel_bandwidth",
+      "log2_profile", "offdiag_frac", "imbalance_1d", "log2_threads"};
+  return names;
+}
+
+SelectorFeatures make_selector_features(std::int64_t rows, std::int64_t nnz,
+                                        std::int64_t bandwidth,
+                                        std::int64_t profile,
+                                        std::int64_t off_diagonal_nnz,
+                                        double imbalance_1d, int threads) {
+  const double r = static_cast<double>(rows);
+  const double z = static_cast<double>(nnz);
+  SelectorFeatures f{};
+  f[0] = log2_1p(r);
+  f[1] = log2_1p(z);
+  f[2] = rows > 0 ? z / r : 0.0;
+  f[3] = rows > 0 ? static_cast<double>(bandwidth) / r : 0.0;
+  f[4] = log2_1p(static_cast<double>(profile));
+  f[5] = nnz > 0 ? static_cast<double>(off_diagonal_nnz) / z : 0.0;
+  f[6] = imbalance_1d;
+  f[7] = std::log2(static_cast<double>(threads < 1 ? 1 : threads));
+  return f;
+}
+
+SelectorFeatures compute_selector_features(const CsrMatrix& a, int threads) {
+  const FeatureReport report = compute_features(a, threads);
+  return make_selector_features(a.num_rows(), a.num_nonzeros(),
+                                report.bandwidth, report.profile,
+                                report.off_diagonal_nonzeros,
+                                report.imbalance_1d, threads);
+}
+
+std::string selector_features_json(const std::string& name, int threads,
+                                   const SelectorFeatures& f) {
+  std::string out;
+  out.reserve(256);
+  out += "{\"schema_version\":";
+  out += std::to_string(kSelectorFeatureVersion);
+  out += ",\"name\":";
+  obs::append_json_string(out, name);
+  out += ",\"threads\":";
+  out += std::to_string(threads);
+  out += ",\"features\":{";
+  const auto& names = selector_feature_names();
+  for (std::size_t i = 0; i < kSelectorFeatureCount; ++i) {
+    if (i > 0) out += ',';
+    obs::append_json_string(out, names[i]);
+    out += ':';
+    obs::append_json_double(out, f[i]);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ordo::features

@@ -5,6 +5,7 @@
 
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "select/model.hpp"
 
 namespace ordo::pipeline {
 namespace {
@@ -106,7 +107,28 @@ std::string encode_record(const JournalRecord& record) {
       }
       line += ']';
     }
-    line += "]}";
+    line += ']';
+    if (row.has_select) {
+      // Selector annotation (--auto-order): a fixed 6-tuple per row. Rows
+      // without it keep the original record shape, so journals from default
+      // sweeps stay byte-identical; the header fingerprint includes the
+      // auto-order mode, budget, and model fingerprint, so the two shapes
+      // never mix within one journal.
+      line += ",\"sel\":[";
+      line += std::to_string(row.pick);
+      line += ',';
+      line += std::to_string(row.oracle);
+      line += ',';
+      append_double(line, row.regret);
+      line += ',';
+      append_double(line, row.pick_net_seconds);
+      line += ',';
+      append_double(line, row.oracle_net_seconds);
+      line += ',';
+      append_double(line, row.pick_amortize_calls);
+      line += ']';
+    }
+    line += '}';
   }
   line += "]}";
   return line;
@@ -151,6 +173,16 @@ JournalRecord decode_record(const std::string& line) {
         m.hw_seconds = tuple.items[14].as_double();
       }
       row.orderings.push_back(m);
+    }
+    if (const JsonValue* sel = pm.find("sel")) {
+      require(sel->items.size() == 6, "journal: bad selection arity");
+      row.has_select = true;
+      row.pick = static_cast<int>(sel->items[0].as_int());
+      row.oracle = static_cast<int>(sel->items[1].as_int());
+      row.regret = sel->items[2].as_double();
+      row.pick_net_seconds = sel->items[3].as_double();
+      row.oracle_net_seconds = sel->items[4].as_double();
+      row.pick_amortize_calls = sel->items[5].as_double();
     }
     record.rows.emplace(std::make_pair(machine, kernel), std::move(row));
   }
@@ -210,6 +242,15 @@ JournalKey make_journal_key(const std::vector<CorpusEntry>& corpus,
   h = fnv1a_pod(h, options.hw_counters);
   if (options.hw_counters) {
     h = fnv1a_str(h, obs::hw::config_fingerprint());
+  }
+  // So is the auto-order mode: its rows carry selection tuples computed by
+  // a specific committed model under a specific SpMV budget, and a journal
+  // written under either another model or another budget (or no selector at
+  // all) must not be replayed into this run.
+  h = fnv1a_pod(h, options.auto_order);
+  if (options.auto_order) {
+    h = fnv1a_pod(h, options.spmv_budget);
+    h = fnv1a_pod(h, select::model_fingerprint());
   }
   key.fingerprint = h;
   return key;

@@ -1,0 +1,48 @@
+// Amortization-point arithmetic (the paper's Section 4.7 question, as a
+// library): reordering costs `reorder_seconds` once and changes the per-call
+// SpMV time from `seconds_before` to `seconds_after`; after how many calls
+// has the one-off cost been recovered, and which strategy wins a budget of
+// N calls? Pure double math, no dependencies — the selector, the study's
+// regret columns, and the tests all share these definitions.
+#pragma once
+
+namespace ordo::select {
+
+/// Sentinel returned by amortization_point when the reordering never pays
+/// off (it made per-call time worse, or no better, while costing time).
+/// Negative so it survives text/JSON round trips that reject inf.
+inline constexpr double kNeverAmortizes = -1.0;
+
+/// Number of SpMV calls after which the cumulative time with the reordering
+/// undercuts the cumulative time without it:
+///   reorder_seconds / (seconds_before - seconds_after).
+/// Edge cases: a free reordering (cost <= 0) amortizes immediately (0) when
+/// it does not slow the kernel down; any reordering that fails to improve
+/// per-call time returns kNeverAmortizes.
+inline double amortization_point(double reorder_seconds, double seconds_before,
+                                 double seconds_after) {
+  if (reorder_seconds <= 0.0) {
+    return seconds_after <= seconds_before ? 0.0 : kNeverAmortizes;
+  }
+  if (seconds_after >= seconds_before) return kNeverAmortizes;
+  return reorder_seconds / (seconds_before - seconds_after);
+}
+
+/// Effective per-call seconds of a strategy over a budget of n_calls:
+/// the per-call kernel time plus the one-off cost spread over the budget.
+/// n_calls is clamped to >= 1 (a budget of zero calls prices nothing).
+inline double net_seconds_per_call(double seconds_per_call,
+                                   double reorder_seconds, double n_calls) {
+  const double n = n_calls < 1.0 ? 1.0 : n_calls;
+  return seconds_per_call + reorder_seconds / n;
+}
+
+/// True when paying reorder_seconds up front beats staying with the original
+/// ordering over a budget of n_calls SpMV calls.
+inline bool pays_off_within(double reorder_seconds, double seconds_before,
+                            double seconds_after, double n_calls) {
+  return net_seconds_per_call(seconds_after, reorder_seconds, n_calls) <
+         net_seconds_per_call(seconds_before, 0.0, n_calls);
+}
+
+}  // namespace ordo::select

@@ -1,0 +1,88 @@
+#include "select/model.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace ordo::select {
+namespace {
+
+#include "select/model_coeffs.inc"
+
+static_assert(kModelFeatureVersion == features::kSelectorFeatureVersion,
+              "model_coeffs.inc was trained against a different feature "
+              "schema — rerun tools/ordo_train_selector.py");
+static_assert(kModelNumOrderings == static_cast<int>(kNumOrderings),
+              "model_coeffs.inc ordering count mismatch");
+static_assert(kModelNumWeights ==
+                  static_cast<int>(features::kSelectorFeatureCount) + 1,
+              "model_coeffs.inc weight count mismatch (bias + features)");
+
+std::uint64_t fnv1a_double(std::uint64_t h, double value) {
+  unsigned char bytes[sizeof(double)];
+  std::memcpy(bytes, &value, sizeof(double));
+  for (unsigned char byte : bytes) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+int kernel_table_index(const std::string& kernel_id) {
+  for (int i = 0; i < kModelNumKernels; ++i) {
+    if (kernel_id == kModelKernels[i]) return i;
+  }
+  // Extra engine kernels (merge, transpose, ...) have no trained table of
+  // their own; the csr_1d table is the documented fallback.
+  return 0;
+}
+
+}  // namespace
+
+int model_version() { return kModelVersion; }
+
+std::uint64_t model_fingerprint() {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a_double(h, static_cast<double>(kModelVersion));
+  h = fnv1a_double(h, static_cast<double>(kModelFeatureVersion));
+  h = fnv1a_double(h, kDecisionMargin);
+  for (const auto& kernel : kSpeedupWeights) {
+    for (const auto& ordering : kernel) {
+      for (double w : ordering) h = fnv1a_double(h, w);
+    }
+  }
+  for (const auto& ordering : kReorderCostCoeffs) {
+    for (double c : ordering) h = fnv1a_double(h, c);
+  }
+  return h;
+}
+
+double log2_speedup_with_weights(
+    const double (&weights)[features::kSelectorFeatureCount + 1],
+    const features::SelectorFeatures& f) {
+  double acc = weights[0];
+  for (std::size_t i = 0; i < features::kSelectorFeatureCount; ++i) {
+    acc += weights[i + 1] * f[i];
+  }
+  return acc;
+}
+
+double predicted_log2_speedup(const std::string& kernel_id,
+                              std::size_t ordering_index,
+                              const features::SelectorFeatures& f) {
+  if (ordering_index == 0 || ordering_index >= kNumOrderings) return 0.0;
+  const int kernel = kernel_table_index(kernel_id);
+  return log2_speedup_with_weights(kSpeedupWeights[kernel][ordering_index], f);
+}
+
+double predicted_reorder_seconds(std::size_t ordering_index, std::int64_t rows,
+                                 std::int64_t nnz) {
+  if (ordering_index == 0 || ordering_index >= kNumOrderings) return 0.0;
+  const double* c = kReorderCostCoeffs[ordering_index];
+  const double log2_nnz = std::log2(1.0 + static_cast<double>(nnz));
+  const double log2_rows = std::log2(1.0 + static_cast<double>(rows));
+  return std::exp2(c[0] + c[1] * log2_nnz + c[2] * log2_rows);
+}
+
+double decision_margin() { return kDecisionMargin; }
+
+}  // namespace ordo::select

@@ -1,0 +1,66 @@
+// The committed selector model: per-(kernel, ordering) linear weights over
+// the schema-versioned feature vector (features/feature_vector.hpp)
+// predicting log2 of the SpMV speedup a reordering buys, plus a log-log
+// reorder-cost model predicting the one-off seconds each ordering costs on
+// a matrix of a given size.
+//
+// Training/inference split: the coefficients live in model_coeffs.inc,
+// generated offline by tools/ordo_train_selector.py from artifact-style
+// study result files (and a reorder_times.txt written by the Table 5
+// bench); inference here is a dot product — no ML framework, no files read
+// at runtime, fully deterministic. The .inc records the feature-schema
+// version it was trained against and model.cpp static_asserts it matches
+// the compiled features, so a retrain can never silently disagree with the
+// inference code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "features/feature_vector.hpp"
+
+namespace ordo::select {
+
+/// Orderings the model scores, in study_orderings() order:
+/// Original, RCM, AMD, ND, GP, HP, Gray. selector.cpp asserts this agrees
+/// with the reorder module.
+inline constexpr std::size_t kNumOrderings = 7;
+
+/// Version of the committed coefficient table (bumped by the trainer).
+int model_version();
+
+/// FNV-1a over the model version and every committed coefficient — part of
+/// the pipeline journal fingerprint, so a retrained model never replays
+/// decisions journaled under the old one.
+std::uint64_t model_fingerprint();
+
+/// Predicted log2(SpMV speedup over Original) of the ordering at
+/// `ordering_index` (study order) for the given kernel id. Index 0
+/// (Original) is 0 by definition. Kernels without a trained table (ids
+/// beyond the studied csr_1d/csr_2d pair) fall back to the csr_1d table.
+double predicted_log2_speedup(const std::string& kernel_id,
+                              std::size_t ordering_index,
+                              const features::SelectorFeatures& f);
+
+/// Predicted one-off wall seconds to compute + apply the ordering at
+/// `ordering_index` on a rows×rows matrix with nnz nonzeros
+/// (exp2(c0 + c1*log2(1+nnz) + c2*log2(1+rows)); 0 for Original). The
+/// coefficients are host-calibrated from the Table 5 bench — a committed
+/// *model* of the cost, not a wall clock, so study rows stay byte-identical
+/// across --jobs values and resume.
+double predicted_reorder_seconds(std::size_t ordering_index, std::int64_t rows,
+                                 std::int64_t nnz);
+
+/// Relative margin a reordering's predicted net time must undercut the
+/// Original's by before the selector switches away from Original (tuned by
+/// the trainer; guards against overconfident picks near the break-even).
+double decision_margin();
+
+/// Inference with caller-provided weights (bias first, then the
+/// kSelectorFeatureCount feature weights) — lets tests pin the dot-product
+/// mechanics independently of the committed table.
+double log2_speedup_with_weights(
+    const double (&weights)[features::kSelectorFeatureCount + 1],
+    const features::SelectorFeatures& f);
+
+}  // namespace ordo::select

@@ -1,0 +1,80 @@
+#include "select/selector.hpp"
+
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "select/amortize.hpp"
+
+namespace ordo::select {
+
+Decision select_ordering(const features::SelectorFeatures& f,
+                         double baseline_seconds, std::int64_t rows,
+                         std::int64_t nnz, const std::string& kernel_id,
+                         const SelectorOptions& options) {
+  require(baseline_seconds > 0.0,
+          "select_ordering: baseline_seconds must be positive");
+  require(study_orderings().size() == kNumOrderings,
+          "select_ordering: ordering table out of sync with reorder module");
+  ORDO_COUNTER_ADD("select.inferences", 1);
+
+  Decision d;
+  for (std::size_t k = 0; k < kNumOrderings; ++k) {
+    d.predicted_speedup[k] =
+        std::exp2(predicted_log2_speedup(kernel_id, k, f));
+    d.predicted_reorder_seconds[k] = predicted_reorder_seconds(k, rows, nnz);
+    d.predicted_net_seconds[k] =
+        net_seconds_per_call(baseline_seconds / d.predicted_speedup[k],
+                             d.predicted_reorder_seconds[k],
+                             options.spmv_budget);
+  }
+
+  // Lowest predicted net per-call time wins; ties break toward the lower
+  // study index (so Original wins exact ties — determinism and caution).
+  int best = 0;
+  for (std::size_t k = 1; k < kNumOrderings; ++k) {
+    if (d.predicted_net_seconds[k] < d.predicted_net_seconds[best]) {
+      best = static_cast<int>(k);
+    }
+  }
+  // The margin guards the break-even region: switching away from Original
+  // must be predicted to pay by more than noise.
+  const double margin = options.margin >= 0.0 ? options.margin
+                                              : decision_margin();
+  if (best != 0 && d.predicted_net_seconds[best] >
+                       d.predicted_net_seconds[0] * (1.0 - margin)) {
+    best = 0;
+  }
+  d.pick = best;
+  d.predicted_amortize_calls =
+      best == 0 ? 0.0
+                : amortization_point(
+                      d.predicted_reorder_seconds[best], baseline_seconds,
+                      baseline_seconds / d.predicted_speedup[best]);
+  return d;
+}
+
+Decision select_ordering(const CsrMatrix& a, const SpmvKernel& kernel,
+                         int threads, double baseline_seconds,
+                         const SelectorOptions& options) {
+  return select_ordering(features::compute_selector_features(a, threads),
+                         baseline_seconds, a.num_rows(), a.num_nonzeros(),
+                         kernel.id(), options);
+}
+
+PreparedPick prepare_pick(const CsrMatrix& a, const SpmvKernel& kernel,
+                          int threads, double baseline_seconds,
+                          const SelectorOptions& options,
+                          const ReorderOptions& reorder) {
+  PreparedPick pp;
+  pp.decision = select_ordering(a, kernel, threads, baseline_seconds, options);
+  pp.kind = study_orderings()[static_cast<std::size_t>(pp.decision.pick)];
+  ReorderOptions opts = reorder;
+  opts.gp_parts = threads;  // the study matches GP's parts to the cores
+  pp.matrix = pp.kind == OrderingKind::kOriginal
+                  ? a
+                  : apply_ordering(a, compute_ordering(a, pp.kind, opts));
+  pp.plan = engine::prepare_plan(pp.matrix, kernel, threads);
+  return pp;
+}
+
+}  // namespace ordo::select

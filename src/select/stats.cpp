@@ -1,0 +1,140 @@
+#include "select/stats.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/status/status.hpp"
+#include "reorder/reordering.hpp"
+#include "select/amortize.hpp"
+
+namespace ordo::select {
+namespace {
+
+// Regret is accumulated in integer micro-units so the sum and max stay
+// plain fetch-style atomics (no CAS loops, no atomic<double>).
+constexpr double kMicro = 1e6;
+
+struct Counters {
+  std::atomic<std::int64_t> decisions{0};
+  std::atomic<std::int64_t> oracle_hits{0};
+  std::atomic<std::int64_t> picks[kNumOrderings]{};
+  std::atomic<std::int64_t> regret_sum_micro{0};
+  std::atomic<std::int64_t> regret_max_micro{0};
+  std::atomic<std::int64_t> amortize_hist[kAmortizeBuckets]{};
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+std::size_t amortize_bucket(double calls) {
+  if (calls < 0.0) return kAmortizeBuckets - 1;  // kNeverAmortizes
+  for (std::size_t b = 0; b < kAmortizeBucketEdges.size(); ++b) {
+    if (calls <= kAmortizeBucketEdges[b]) return b;
+  }
+  return kAmortizeBuckets - 2;  // > last edge, but finite
+}
+
+void append_section(std::string& out) {
+  const StatsSnapshot s = stats_snapshot();
+  out += "{\"model_version\":" + std::to_string(model_version());
+  out += ",\"decisions\":" + std::to_string(s.decisions);
+  out += ",\"oracle_hits\":" + std::to_string(s.oracle_hits);
+  out += ",\"hit_rate\":";
+  obs::append_json_double(out, s.hit_rate());
+  out += ",\"mean_regret\":";
+  obs::append_json_double(out, s.mean_regret());
+  out += ",\"max_regret\":";
+  obs::append_json_double(out, s.regret_max);
+  out += ",\"picks\":{";
+  const auto kinds = study_orderings();
+  for (std::size_t k = 0; k < kNumOrderings; ++k) {
+    if (k > 0) out += ',';
+    obs::append_json_string(out, ordering_name(kinds[k]));
+    out += ':';
+    out += std::to_string(s.picks[k]);
+  }
+  out += "},\"amortize_hist\":{";
+  for (std::size_t b = 0; b < kAmortizeBuckets; ++b) {
+    if (b > 0) out += ',';
+    std::string label;
+    if (b < kAmortizeBucketEdges.size()) {
+      label = "<=1e" + std::to_string(
+                           static_cast<int>(std::log10(
+                               kAmortizeBucketEdges[b]) + 0.5));
+    } else if (b == kAmortizeBuckets - 2) {
+      label = ">1e5";
+    } else {
+      label = "never";
+    }
+    obs::append_json_string(out, label);
+    out += ':';
+    out += std::to_string(s.amortize_hist[b]);
+  }
+  out += "}}";
+}
+
+void register_section_once() {
+  static const bool registered = [] {
+    obs::status::register_section("select", append_section);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+void record_decision(int pick, int oracle, double regret,
+                     double amortize_calls) {
+  register_section_once();
+  Counters& c = counters();
+  c.decisions.fetch_add(1, std::memory_order_relaxed);
+  if (pick >= 0 && pick < static_cast<int>(kNumOrderings)) {
+    c.picks[pick].fetch_add(1, std::memory_order_relaxed);
+  }
+  if (pick == oracle) c.oracle_hits.fetch_add(1, std::memory_order_relaxed);
+  const auto micro = static_cast<std::int64_t>(regret * kMicro);
+  c.regret_sum_micro.fetch_add(micro, std::memory_order_relaxed);
+  std::int64_t seen = c.regret_max_micro.load(std::memory_order_relaxed);
+  while (micro > seen && !c.regret_max_micro.compare_exchange_weak(
+                             seen, micro, std::memory_order_relaxed)) {
+  }
+  c.amortize_hist[amortize_bucket(amortize_calls)].fetch_add(
+      1, std::memory_order_relaxed);
+  ORDO_COUNTER_ADD("select.decisions", 1);
+}
+
+StatsSnapshot stats_snapshot() {
+  const Counters& c = counters();
+  StatsSnapshot s;
+  s.decisions = c.decisions.load(std::memory_order_relaxed);
+  s.oracle_hits = c.oracle_hits.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < kNumOrderings; ++k) {
+    s.picks[k] = c.picks[k].load(std::memory_order_relaxed);
+  }
+  s.regret_sum =
+      static_cast<double>(c.regret_sum_micro.load(std::memory_order_relaxed)) /
+      kMicro;
+  s.regret_max =
+      static_cast<double>(c.regret_max_micro.load(std::memory_order_relaxed)) /
+      kMicro;
+  for (std::size_t b = 0; b < kAmortizeBuckets; ++b) {
+    s.amortize_hist[b] = c.amortize_hist[b].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void reset_stats() {
+  Counters& c = counters();
+  c.decisions.store(0, std::memory_order_relaxed);
+  c.oracle_hits.store(0, std::memory_order_relaxed);
+  for (auto& p : c.picks) p.store(0, std::memory_order_relaxed);
+  c.regret_sum_micro.store(0, std::memory_order_relaxed);
+  c.regret_max_micro.store(0, std::memory_order_relaxed);
+  for (auto& b : c.amortize_hist) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ordo::select

@@ -21,11 +21,13 @@
 #include <thread>
 #include <vector>
 
+#include "corpus/corpus.hpp"
 #include "obs/obs.hpp"
 #include "obs/status/status.hpp"
 #include "pipeline/cancel.hpp"
 #include "pipeline/journal.hpp"
 #include "pipeline/task_pool.hpp"
+#include "select/select.hpp"
 
 namespace ordo {
 namespace {
@@ -141,7 +143,10 @@ TEST(TsanStressTest, JournalWriterConcurrentAppends) {
       pool.submit([&writer, i] {
         MeasurementRow row;
         row.group = "tsan";
-        row.name = "m" + std::to_string(i);
+        // No "m" prefix concatenation: every const char* copy spelling here
+        // trips a GCC 12 -Wrestrict false positive in this inlining context,
+        // and the journal only needs the name to be unique.
+        row.name = std::to_string(i);
         row.orderings.resize(7);
         MatrixStudyRows rows;
         rows[{"machine", SpmvKernel::k1D}] = row;
@@ -218,6 +223,51 @@ TEST(TsanStressTest, StatusBoardSnapshotsDuringTaskChurn) {
   const obs::status::ProgressSnapshot p = obs::status::progress();
   EXPECT_EQ(p.completed + p.failed, kTasks);
   EXPECT_EQ(p.in_flight, 0);
+}
+
+TEST(TsanStressTest, ConcurrentSelectorDecisionsAndSnapshots) {
+  // --auto-order annotates rows from pool workers: every worker runs model
+  // inference and records into select:: stats while a monitor thread drains
+  // snapshot_json() (which renders the registered "select" section). The
+  // stats are plain relaxed atomics plus one CAS loop for max-regret; this
+  // makes those claims TSan-checkable.
+  select::reset_stats();
+  const CorpusEntry entry = generate_named("333SP", 0.03);
+  const features::SelectorFeatures f =
+      features::compute_selector_features(entry.matrix, 72);
+  std::atomic<bool> stop{false};
+  std::thread sampler([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)obs::status::snapshot_json();
+      (void)select::stats_snapshot();
+      std::this_thread::yield();
+    }
+  });
+  {
+    pipeline::TaskPool pool(kWorkers);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&entry, &f, i] {
+        select::SelectorOptions options;
+        options.spmv_budget = 1.0 + static_cast<double>(i % 5) * 5000.0;
+        const select::Decision decision = select::select_ordering(
+            f, /*baseline_seconds=*/1e-5, entry.matrix.num_rows(),
+            entry.matrix.num_nonzeros(), i % 2 ? "csr_1d" : "csr_2d",
+            options);
+        select::record_decision(decision.pick, /*oracle=*/i % 7,
+                                /*regret=*/1e-3 * static_cast<double>(i % 11),
+                                decision.predicted_amortize_calls);
+      });
+    }
+    pool.wait_idle();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+  const select::StatsSnapshot stats = select::stats_snapshot();
+  EXPECT_EQ(stats.decisions, kTasks);
+  std::int64_t picks = 0;
+  for (const std::int64_t count : stats.picks) picks += count;
+  EXPECT_EQ(picks, kTasks);
+  select::reset_stats();
 }
 
 TEST(TsanStressTest, TraceSpansOverlappedWithCollection) {

@@ -11,8 +11,10 @@ docs/ARCHITECTURE.md "Live telemetry") from either source:
 and renders a top-style view: progress bar, completed/failed/timeout
 tally, EWMA ETA, per-worker in-flight matrices with their current phase
 (reorder/profile/features/spmv/model/journal) and deadline margin, plan
-cache hit rate, and — when the study runs with --hw — the latest
-counter window (IPC, LLC miss rate, achieved vs peak GB/s).
+cache hit rate, the ordering selector's tally when the study runs with
+--auto-order (decisions, oracle hit rate, mean regret, per-ordering
+picks), and — when the study runs with --hw — the latest counter window
+(IPC, LLC miss rate, achieved vs peak GB/s).
 
 Modes:
   (default)     full-screen curses refresh every --interval seconds;
@@ -115,6 +117,20 @@ def validate(snap):
         if isinstance(hw, dict) and "achieved_frac" in hw:
             _expect(errors, "gbps" in hw and "peak_gbps" in hw,
                     "hw.achieved_frac without gbps/peak_gbps")
+
+    # select is optional (registered on the first --auto-order decision);
+    # when present it carries the selector's full tally.
+    sel = snap.get("select")
+    if sel is not None:
+        _expect(errors, isinstance(sel, dict),
+                "select present but not an object")
+        if isinstance(sel, dict):
+            for key in ("model_version", "decisions", "oracle_hits",
+                        "hit_rate", "mean_regret", "max_regret", "picks",
+                        "amortize_hist"):
+                _expect(errors, key in sel, f"select.{key} missing")
+            _expect(errors, isinstance(sel.get("picks"), dict),
+                    "select.picks is not an object")
     return errors
 
 
@@ -165,6 +181,21 @@ def render(snap, width=78):
             f"{cache.get('hits', 0) + cache.get('misses', 0)} lookups "
             f"({100.0 * cache.get('hit_rate', 0.0):.0f}%), "
             f"{cache.get('size', 0)}/{cache.get('capacity', 0)} plans")
+
+    sel = snap.get("select")
+    if isinstance(sel, dict):
+        lines.append(
+            f"select[v{sel.get('model_version', '?')}]: "
+            f"{sel.get('decisions', 0)} decisions, "
+            f"{100.0 * sel.get('hit_rate', 0.0):.0f}% oracle hits, "
+            f"mean regret {100.0 * sel.get('mean_regret', 0.0):.2f}%")
+        picks = ", ".join(
+            f"{name} {count}"
+            for name, count in sorted((sel.get("picks") or {}).items(),
+                                      key=lambda kv: -kv[1])
+            if count > 0)
+        if picks:
+            lines.append(f"  picks: {picks}")
 
     hw = snap.get("hw")
     if isinstance(hw, dict):
