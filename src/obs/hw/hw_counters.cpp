@@ -1,5 +1,6 @@
 #include "obs/hw/hw_counters.hpp"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -79,14 +80,16 @@ struct OpenCounter {
 };
 
 // The session: opened at most once and kept for the process lifetime (like
-// the metrics registry), so CounterScope snapshots can read the fds without
-// holding any lock. set_enabled(false) only stops new scopes from opening.
+// the metrics registry). All members are guarded by the mutex — the old
+// "counters is immutable once open_attempted" shortcut let a scope observe
+// the vector mid-open when set_enabled raced a first CounterScope, so
+// readers now take the (uncontended) lock for the duration of the fd loop.
 struct Session {
   std::mutex mutex;
   bool enabled = false;
   bool open_attempted = false;
   bool any_hardware = false;
-  std::vector<OpenCounter> counters;  // immutable once open_attempted
+  std::vector<OpenCounter> counters;
   std::string detail = "not enabled";
 };
 
@@ -95,7 +98,10 @@ Session& session() {
   return *s;
 }
 
-bool g_per_launch = false;
+// Read on every execute() launch, flipped by init_from_env/tests: atomic so
+// the unsynchronized read is defined; relaxed because the flag gates an
+// optional measurement window, not any data another thread publishes.
+std::atomic<bool> g_per_launch{false};
 
 #if ORDO_HW_HAVE_PERF
 
@@ -322,13 +328,18 @@ std::string config_fingerprint() {
   return fp;
 }
 
-bool per_launch_enabled() { return g_per_launch; }
-void set_per_launch_enabled(bool enabled) { g_per_launch = enabled; }
+bool per_launch_enabled() {
+  return g_per_launch.load(std::memory_order_relaxed);
+}
+void set_per_launch_enabled(bool enabled) {
+  g_per_launch.store(enabled, std::memory_order_relaxed);
+}
 
 CounterSet session_totals() {
   CounterSet set;
   if (!available()) return set;
   Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
   for (const OpenCounter& c : s.counters) {
     RawSample sample;
     if (!read_sample(c.fd, sample)) continue;
@@ -344,6 +355,7 @@ CounterScope::CounterScope(std::string metric_name)
     : metric_name_(std::move(metric_name)) {
   if (!available()) return;
   Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
   begin_.resize(s.counters.size());
   for (std::size_t i = 0; i < s.counters.size(); ++i) {
     if (!read_sample(s.counters[i].fd, begin_[i])) {
@@ -357,13 +369,19 @@ const CounterSet& CounterScope::stop() {
   if (!open_) return result_;
   open_ = false;
   Session& s = session();
-  for (std::size_t i = 0; i < begin_.size() && i < s.counters.size(); ++i) {
-    RawSample end;
-    if (!read_sample(s.counters[i].fd, end)) continue;
-    const WindowDelta delta = scale_window(begin_[i], end);
-    if (!delta.ran) continue;
-    result_.readings.push_back(
-        {s.counters[i].id, delta.value, delta.scale, delta.multiplexed});
+  {
+    // Lock only the fd loop: the histogram recording below takes the
+    // metrics-registry mutex, and holding both would order the session
+    // mutex before it for no benefit.
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (std::size_t i = 0; i < begin_.size() && i < s.counters.size(); ++i) {
+      RawSample end;
+      if (!read_sample(s.counters[i].fd, end)) continue;
+      const WindowDelta delta = scale_window(begin_[i], end);
+      if (!delta.ran) continue;
+      result_.readings.push_back(
+          {s.counters[i].id, delta.value, delta.scale, delta.multiplexed});
+    }
   }
   result_.available = !result_.readings.empty();
   if (!metric_name_.empty() && result_.available) {
