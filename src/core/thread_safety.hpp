@@ -1,0 +1,87 @@
+// Portable Clang thread-safety (capability) annotations.
+//
+// Under clang, `-Wthread-safety -Werror` turns the locking discipline the
+// TSan suite checks dynamically into a compile-time contract: every member
+// tagged ORDO_GUARDED_BY(mu) may only be touched while `mu` is held, and
+// every function tagged ORDO_REQUIRES(mu) may only be called with `mu`
+// held. Under gcc (and any other compiler) every macro expands to nothing,
+// so the annotations are zero runtime and zero ABI cost.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating
+// members with GUARDED_BY(a_std_mutex) trips -Wthread-safety-attributes.
+// The two thin wrappers below — ordo::Mutex and ordo::MutexLock — exist
+// solely to carry the attributes; they add no state beyond the std types
+// they wrap. Condition-variable waits go through MutexLock::native().
+//
+// Checked by tools/ordo_analyze.py (lock-order, guard-coverage, raw-mutex
+// rules) and by the clang `analyze` CI job; see ARCHITECTURE.md.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ORDO_TS_ATTR(x) __attribute__((x))
+#else
+#define ORDO_TS_ATTR(x)  // no-op outside clang
+#endif
+
+#define ORDO_CAPABILITY(x) ORDO_TS_ATTR(capability(x))
+#define ORDO_SCOPED_CAPABILITY ORDO_TS_ATTR(scoped_lockable)
+#define ORDO_GUARDED_BY(x) ORDO_TS_ATTR(guarded_by(x))
+#define ORDO_PT_GUARDED_BY(x) ORDO_TS_ATTR(pt_guarded_by(x))
+#define ORDO_ACQUIRE(...) ORDO_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define ORDO_RELEASE(...) ORDO_TS_ATTR(release_capability(__VA_ARGS__))
+#define ORDO_TRY_ACQUIRE(...) ORDO_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define ORDO_REQUIRES(...) ORDO_TS_ATTR(requires_capability(__VA_ARGS__))
+#define ORDO_EXCLUDES(...) ORDO_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define ORDO_ASSERT_CAPABILITY(x) ORDO_TS_ATTR(assert_capability(x))
+#define ORDO_RETURN_CAPABILITY(x) ORDO_TS_ATTR(lock_returned(x))
+#define ORDO_NO_THREAD_SAFETY_ANALYSIS ORDO_TS_ATTR(no_thread_safety_analysis)
+
+namespace ordo {
+
+/// std::mutex with the Clang `capability` attribute attached so members can
+/// be declared ORDO_GUARDED_BY(mutex_member). Same size, same semantics.
+class ORDO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ORDO_ACQUIRE() { mu_.lock(); }
+  void unlock() ORDO_RELEASE() { mu_.unlock(); }
+  bool try_lock() ORDO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop that needs the raw type.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over ordo::Mutex (the annotated std::lock_guard /
+/// std::unique_lock replacement). Holds a std::unique_lock internally so
+/// std::condition_variable can wait on `native()` without giving up the
+/// scoped-capability bookkeeping.
+class ORDO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ORDO_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() ORDO_RELEASE() {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Manual re-acquire / release, for the rare unlock-work-relock dance
+  /// (e.g. the heartbeat writer drops the lock around file I/O).
+  void lock() ORDO_ACQUIRE() { lock_.lock(); }
+  void unlock() ORDO_RELEASE() { lock_.unlock(); }
+
+  /// The underlying unique_lock, for std::condition_variable::wait. The
+  /// wait re-acquires before returning, so the capability state is
+  /// unchanged across the call.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace ordo

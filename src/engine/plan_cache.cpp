@@ -40,7 +40,7 @@ std::shared_ptr<const Plan> PlanCache::get(const CsrMatrix& a,
   // The fingerprint is pure and O(rows); compute it outside the lock.
   Key key{matrix_fingerprint(a), threads, kernel_id};
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.hits;
@@ -69,19 +69,19 @@ std::shared_ptr<const Plan> PlanCache::get(const CsrMatrix& a,
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return index_.size();
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   ORDO_GAUGE_SET("engine.plan_cache.size", 0);
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -27,10 +27,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "core/thread_safety.hpp"
 #include "engine/plan.hpp"
 #include "engine/registry.hpp"
 #include "sparse/csr.hpp"
@@ -89,11 +89,13 @@ class PlanCache {
   };
   using LruList = std::list<std::pair<Key, std::shared_ptr<const Plan>>>;
 
-  mutable std::mutex mutex_;
-  LruList lru_;  ///< front = most recently used
-  std::map<Key, LruList::iterator> index_;
+  mutable Mutex mutex_;
+  LruList lru_ ORDO_GUARDED_BY(mutex_);  ///< front = most recently used
+  std::map<Key, LruList::iterator> index_ ORDO_GUARDED_BY(mutex_);
+  // ordo-analyze: allow(guard-coverage) immutable after construction;
+  // capacity() reads it without the lock.
   std::size_t capacity_;
-  Stats stats_;
+  Stats stats_ ORDO_GUARDED_BY(mutex_);
 };
 
 /// The process-wide plan cache used by prepare_plan().

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "check/invariants.hpp"
+#include "core/thread_safety.hpp"
 #include "obs/hw/hw_counters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/status/status.hpp"
@@ -26,16 +26,19 @@ std::string spmv_kernel_name(const SpmvKernel& kernel) {
 namespace engine {
 namespace {
 
-std::mutex& registry_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+// Mutex and map live in one struct so the guarded_by relation is
+// expressible; the function-local static keeps the lazy-init order the
+// KernelRegistrar statics rely on.
+struct Registry {
+  Mutex mutex;
+  // std::map: node-based, so KernelDesc references handed out by kernel() /
+  // find_kernel() stay valid as later registrations land.
+  std::map<std::string, KernelDesc> map ORDO_GUARDED_BY(mutex);
+};
 
-// std::map: node-based, so KernelDesc references handed out by kernel() /
-// find_kernel() stay valid as later registrations land.
-std::map<std::string, KernelDesc>& registry_map() {
-  static std::map<std::string, KernelDesc> map;
-  return map;
+Registry& registry() {
+  static Registry r;
+  return r;
 }
 
 // check/ sits below engine/ in the layering, so the plan validator speaks
@@ -73,18 +76,19 @@ void register_kernel(KernelDesc desc) {
           "register_kernel: kernel '" + desc.id +
               "' must provide both prepare and execute");
   if (desc.display_name.empty()) desc.display_name = desc.id;
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  const bool inserted =
-      registry_map().emplace(desc.id, std::move(desc)).second;
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  const bool inserted = r.map.emplace(desc.id, std::move(desc)).second;
   require(inserted, "register_kernel: duplicate kernel id '" + desc.id + "'");
   ORDO_COUNTER_ADD("engine.kernels.registered", 1);
 }
 
 const KernelDesc* find_kernel(const std::string& id) {
   ensure_builtins();
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  const auto it = registry_map().find(id);
-  return it == registry_map().end() ? nullptr : &it->second;
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  const auto it = r.map.find(id);
+  return it == r.map.end() ? nullptr : &it->second;
 }
 
 const KernelDesc& kernel(const std::string& id) {
@@ -98,10 +102,11 @@ const KernelDesc& kernel(const std::string& id) {
 
 std::vector<std::string> kernel_ids() {
   ensure_builtins();
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
   std::vector<std::string> ids;
-  ids.reserve(registry_map().size());
-  for (const auto& [id, desc] : registry_map()) ids.push_back(id);
+  ids.reserve(r.map.size());
+  for (const auto& [id, desc] : r.map) ids.push_back(id);
   return ids;  // std::map iteration order is already sorted
 }
 

@@ -5,8 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
+#include "core/thread_safety.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -85,12 +85,12 @@ struct OpenCounter {
 // the vector mid-open when set_enabled raced a first CounterScope, so
 // readers now take the (uncontended) lock for the duration of the fd loop.
 struct Session {
-  std::mutex mutex;
-  bool enabled = false;
-  bool open_attempted = false;
-  bool any_hardware = false;
-  std::vector<OpenCounter> counters;
-  std::string detail = "not enabled";
+  Mutex mutex;
+  bool enabled ORDO_GUARDED_BY(mutex) = false;
+  bool open_attempted ORDO_GUARDED_BY(mutex) = false;
+  bool any_hardware ORDO_GUARDED_BY(mutex) = false;
+  std::vector<OpenCounter> counters ORDO_GUARDED_BY(mutex);
+  std::string detail ORDO_GUARDED_BY(mutex) = "not enabled";
 };
 
 Session& session() {
@@ -137,7 +137,7 @@ int read_paranoid_level() {
   return level;
 }
 
-void open_session_locked(Session& s) {
+void open_session_locked(Session& s) ORDO_REQUIRES(s.mutex) {
   bool retried_exclude_kernel = false;
   int first_errno = 0;
   for (const CounterSpec& spec : kSpecs) {
@@ -188,7 +188,7 @@ bool read_sample(int fd, RawSample& out) {
 
 #else  // !ORDO_HW_HAVE_PERF
 
-void open_session_locked(Session& s) {
+void open_session_locked(Session& s) ORDO_REQUIRES(s.mutex) {
   s.detail = "perf_event is Linux-only — counters reported as absent";
 }
 
@@ -197,7 +197,7 @@ bool read_sample(int, RawSample&) { return false; }
 #endif  // ORDO_HW_HAVE_PERF
 
 void ensure_open(Session& s) {
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   if (s.open_attempted) return;
   s.open_attempted = true;
   open_session_locked(s);
@@ -283,14 +283,14 @@ void init_from_env() {
 
 bool enabled() {
   Session& s = session();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   return s.enabled;
 }
 
 void set_enabled(bool enabled) {
   Session& s = session();
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     s.enabled = enabled;
     if (!enabled) return;
   }
@@ -299,26 +299,26 @@ void set_enabled(bool enabled) {
 
 bool available() {
   Session& s = session();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   return s.enabled && !s.counters.empty();
 }
 
 std::string backend_name() {
   Session& s = session();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   if (!s.enabled || s.counters.empty()) return "null";
   return s.any_hardware ? "perf" : "perf-software";
 }
 
 std::string backend_detail() {
   Session& s = session();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   return s.detail;
 }
 
 std::string config_fingerprint() {
   Session& s = session();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   if (!s.enabled || s.counters.empty()) return "off";
   std::string fp = s.any_hardware ? "perf:" : "perf-software:";
   for (const OpenCounter& c : s.counters) {
@@ -329,9 +329,12 @@ std::string config_fingerprint() {
 }
 
 bool per_launch_enabled() {
+  // Relaxed: an on/off flag polled per launch; the scope it gates does its
+  // own synchronisation.
   return g_per_launch.load(std::memory_order_relaxed);
 }
 void set_per_launch_enabled(bool enabled) {
+  // Relaxed: see per_launch_enabled().
   g_per_launch.store(enabled, std::memory_order_relaxed);
 }
 
@@ -339,7 +342,7 @@ CounterSet session_totals() {
   CounterSet set;
   if (!available()) return set;
   Session& s = session();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   for (const OpenCounter& c : s.counters) {
     RawSample sample;
     if (!read_sample(c.fd, sample)) continue;
@@ -355,7 +358,7 @@ CounterScope::CounterScope(std::string metric_name)
     : metric_name_(std::move(metric_name)) {
   if (!available()) return;
   Session& s = session();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   begin_.resize(s.counters.size());
   for (std::size_t i = 0; i < s.counters.size(); ++i) {
     if (!read_sample(s.counters[i].fd, begin_[i])) {
@@ -373,7 +376,7 @@ const CounterSet& CounterScope::stop() {
     // Lock only the fd loop: the histogram recording below takes the
     // metrics-registry mutex, and holding both would order the session
     // mutex before it for no benefit.
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     for (std::size_t i = 0; i < begin_.size() && i < s.counters.size(); ++i) {
       RawSample end;
       if (!read_sample(s.counters[i].fd, end)) continue;

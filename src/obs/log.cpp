@@ -4,8 +4,8 @@
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
 
+#include "core/thread_safety.hpp"
 #include "sparse/types.hpp"
 
 namespace ordo::obs {
@@ -13,18 +13,21 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kQuiet)};
 
-std::mutex& log_mutex() {
-  static std::mutex* m = new std::mutex;  // leaked: logf runs from atexit
+Mutex& log_mutex() {
+  static Mutex* m = new Mutex;  // leaked: logf runs from atexit
   return *m;
 }
 
 }  // namespace
 
 LogLevel log_level() {
+  // Relaxed: the level is an independent tuning knob; readers need only
+  // eventual visibility, not ordering with the messages it gates.
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 void set_log_level(LogLevel level) {
+  // Relaxed: see log_level().
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
@@ -51,6 +54,7 @@ std::string log_level_name(LogLevel level) {
 }
 
 bool log_enabled(LogLevel level) {
+  // Relaxed: see log_level().
   return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed) &&
          level != LogLevel::kQuiet;
 }
@@ -59,7 +63,7 @@ void logf(LogLevel level, const char* format, ...) {
   if (!log_enabled(level)) return;
   std::va_list args;
   va_start(args, format);
-  std::lock_guard<std::mutex> lock(log_mutex());
+  MutexLock lock(log_mutex());
   std::fprintf(stderr, level == LogLevel::kDebug ? "ordo[debug]: " : "ordo: ");
   std::vfprintf(stderr, format, args);
   std::fputc('\n', stderr);

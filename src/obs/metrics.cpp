@@ -7,6 +7,7 @@
 #include <memory>
 #include <ostream>
 
+#include "core/thread_safety.hpp"
 #include "sparse/types.hpp"
 
 namespace ordo::obs {
@@ -22,8 +23,8 @@ struct Entry {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, Entry> entries;
+  Mutex mutex;
+  std::map<std::string, Entry> entries ORDO_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -49,7 +50,7 @@ void write_json_string(std::ostream& out, const std::string& s) {
 }  // namespace
 
 void Histogram::record(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (state_.count == 0) {
     state_.min = value;
     state_.max = value;
@@ -62,18 +63,18 @@ void Histogram::record(double value) {
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 void Histogram::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   state_ = Snapshot{};
 }
 
 Counter& counter(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   Entry& entry = r.entries[name];
   if (!entry.counter) {
     require(!entry.gauge && !entry.histogram,
@@ -86,7 +87,7 @@ Counter& counter(const std::string& name) {
 
 Gauge& gauge(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   Entry& entry = r.entries[name];
   if (!entry.gauge) {
     require(!entry.counter && !entry.histogram,
@@ -99,7 +100,7 @@ Gauge& gauge(const std::string& name) {
 
 Histogram& histogram(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   Entry& entry = r.entries[name];
   if (!entry.histogram) {
     require(!entry.counter && !entry.gauge,
@@ -112,13 +113,13 @@ Histogram& histogram(const std::string& name) {
 
 bool has_metric(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   return r.entries.count(name) > 0;
 }
 
 std::vector<std::string> metric_names() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   std::vector<std::string> names;
   names.reserve(r.entries.size());
   for (const auto& [name, entry] : r.entries) names.push_back(name);
@@ -127,7 +128,7 @@ std::vector<std::string> metric_names() {
 
 void reset_metrics() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (auto& [name, entry] : r.entries) {
     if (entry.counter) entry.counter->add(-entry.counter->value());
     if (entry.gauge) entry.gauge->set(0.0);
@@ -137,7 +138,7 @@ void reset_metrics() {
 
 std::vector<MetricSample> sample_metrics() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   std::vector<MetricSample> samples;
   samples.reserve(r.entries.size());
   for (const auto& [name, entry] : r.entries) {
@@ -160,7 +161,7 @@ std::vector<MetricSample> sample_metrics() {
 
 void write_metrics_text(std::ostream& out) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& [name, entry] : r.entries) {
     out << name << ' ';
     if (entry.counter) {
@@ -183,7 +184,7 @@ void write_metrics_text(std::ostream& out) {
 
 void write_metrics_json(std::ostream& out) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   const auto dump_kind = [&](const char* kind, auto&& writer) {
     out << '"' << kind << "\":{";
     bool first = true;

@@ -22,14 +22,17 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/thread_safety.hpp"
 
 namespace ordo::obs {
 
 class Counter {
  public:
+  // Relaxed throughout: counters are monotone tallies sampled for reports;
+  // no reader infers ordering between a counter and other memory.
   void add(std::int64_t delta) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
@@ -44,6 +47,7 @@ class Counter {
 
 class Gauge {
  public:
+  // Relaxed: a gauge is a last-writer-wins sample; see Counter above.
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
   double value() const { return value_.load(std::memory_order_relaxed); }
 
@@ -66,8 +70,8 @@ class Histogram {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  Snapshot state_;
+  mutable Mutex mutex_;
+  Snapshot state_ ORDO_GUARDED_BY(mutex_);
 };
 
 /// Finds or creates the named instrument. A name is bound to one kind for

@@ -7,14 +7,15 @@
 #include <exception>
 #include <mutex>
 
+#include "core/thread_safety.hpp"
 #include "obs/status/status.hpp"
 
 namespace ordo::obs {
 namespace {
 
-std::mutex g_config_mutex;
-std::string g_trace_path;
-std::string g_metrics_path;
+Mutex g_config_mutex;
+std::string g_trace_path ORDO_GUARDED_BY(g_config_mutex);
+std::string g_metrics_path ORDO_GUARDED_BY(g_config_mutex);
 std::atomic<bool> g_profiling{false};
 
 // The exit-time flush: without it, a bench main that exits early (or a
@@ -69,32 +70,35 @@ void flush_metrics() {
 }
 
 std::string trace_output_path() {
-  std::lock_guard<std::mutex> lock(g_config_mutex);
+  MutexLock lock(g_config_mutex);
   return g_trace_path;
 }
 
 void set_trace_output_path(const std::string& path) {
   register_atexit_flush();
-  std::lock_guard<std::mutex> lock(g_config_mutex);
+  MutexLock lock(g_config_mutex);
   g_trace_path = path;
 }
 
 std::string metrics_output_path() {
-  std::lock_guard<std::mutex> lock(g_config_mutex);
+  MutexLock lock(g_config_mutex);
   return g_metrics_path;
 }
 
 void set_metrics_output_path(const std::string& path) {
   register_atexit_flush();
-  std::lock_guard<std::mutex> lock(g_config_mutex);
+  MutexLock lock(g_config_mutex);
   g_metrics_path = path;
 }
 
 bool profiling_enabled() {
+  // Relaxed: an on/off flag polled per operation; no data is published
+  // through it, so no ordering is needed.
   return g_profiling.load(std::memory_order_relaxed);
 }
 
 void set_profiling_enabled(bool enabled) {
+  // Relaxed: see profiling_enabled().
   g_profiling.store(enabled, std::memory_order_relaxed);
 }
 
@@ -110,7 +114,7 @@ void finalize() {
   std::string trace_path;
   std::string metrics_path;
   {
-    std::lock_guard<std::mutex> lock(g_config_mutex);
+    MutexLock lock(g_config_mutex);
     trace_path = g_trace_path;
     metrics_path = g_metrics_path;
   }

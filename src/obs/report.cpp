@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "core/thread_safety.hpp"
 #include "obs/hw/hw_counters.hpp"
 #include "obs/json.hpp"
 #include "obs/stopwatch.hpp"
@@ -20,11 +20,11 @@ namespace ordo::obs {
 namespace {
 
 struct ReportState {
-  mutable std::mutex mutex;
-  std::string name;
-  std::string output_path;
-  std::vector<BenchCase> cases;
-  bool totals_case_added = false;
+  mutable Mutex mutex;
+  std::string name ORDO_GUARDED_BY(mutex);
+  std::string output_path ORDO_GUARDED_BY(mutex);
+  std::vector<BenchCase> cases ORDO_GUARDED_BY(mutex);
+  bool totals_case_added ORDO_GUARDED_BY(mutex) = false;
 };
 
 ReportState& state() {
@@ -136,20 +136,20 @@ void BenchReport::add_case(BenchCase bench_case) {
     bench_case.iqr_seconds = iqr_of(bench_case.rep_seconds);
   }
   ReportState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   s.cases.push_back(std::move(bench_case));
 }
 
 bool BenchReport::empty() const {
   ReportState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   return s.cases.empty();
 }
 
 std::string BenchReport::to_json() const {
   const HostInfo host = host_info();
   ReportState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   std::string out;
   out.reserve(4096);
   out += "{\"schema_version\":";
@@ -190,7 +190,7 @@ BenchReport& bench_report() {
 
 void set_bench_report_name(const std::string& name) {
   ReportState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   if (!s.name.empty() || name.empty()) return;
   s.name = name;
   if (s.output_path.empty()) s.output_path = "BENCH_" + name + ".json";
@@ -198,19 +198,19 @@ void set_bench_report_name(const std::string& name) {
 
 std::string bench_report_name() {
   ReportState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   return s.name;
 }
 
 std::string bench_report_output_path() {
   ReportState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   return s.output_path;
 }
 
 void set_bench_report_output_path(const std::string& path) {
   ReportState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   s.output_path = path;
 }
 
@@ -218,7 +218,7 @@ void write_bench_report() {
   ReportState& s = state();
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     if (s.output_path.empty() || s.cases.empty()) return;
     path = s.output_path;
   }
@@ -226,7 +226,7 @@ void write_bench_report() {
   // counter totals, so even a bench with bespoke cases gets one comparable
   // number per run. Added once, on the first write.
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     if (!s.totals_case_added) {
       s.totals_case_added = true;
       BenchCase total;

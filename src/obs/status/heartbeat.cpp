@@ -24,7 +24,7 @@ HeartbeatWriter::~HeartbeatWriter() { stop(); }
 
 void HeartbeatWriter::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) return;
     stop_ = true;
   }
@@ -41,12 +41,17 @@ void HeartbeatWriter::stop() {
 }
 
 void HeartbeatWriter::loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (!stop_) {
-    cv_.wait_for(lock,
-                 std::chrono::duration_cast<std::chrono::milliseconds>(
-                     std::chrono::duration<double>(interval_seconds_)),
-                 [this] { return stop_; });
+    // Explicit wait loop (not the predicate overload) so the guarded stop_
+    // reads stay lexically under the lock for -Wthread-safety.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::duration<double>(interval_seconds_));
+    while (!stop_ && cv_.wait_until(lock.native(), deadline) !=
+                         std::cv_status::timeout) {
+    }
     if (stop_) break;
     lock.unlock();
     try {

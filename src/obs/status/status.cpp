@@ -4,9 +4,9 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unistd.h>
 
+#include "core/thread_safety.hpp"
 #include "obs/hw/hw_counters.hpp"
 #include "obs/hw/membw.hpp"
 #include "obs/json.hpp"
@@ -39,8 +39,8 @@ struct Slot {
   std::atomic<std::int64_t> start_us{0};
   std::atomic<std::int64_t> deadline_us{0};  ///< 0 = no deadline
   std::atomic<const char*> phase{nullptr};   ///< static-storage strings only
-  mutable std::mutex name_mutex;             ///< guards name
-  std::string name;
+  mutable Mutex name_mutex;
+  std::string name ORDO_GUARDED_BY(name_mutex);
 };
 
 struct Board {
@@ -57,20 +57,21 @@ struct Board {
   std::atomic<std::int64_t> run_start_us{0};
 
   // ETA state, touched once per task completion.
-  std::mutex ewma_mutex;
-  double ewma_task_seconds = 0.0;
-  std::int64_t ewma_count = 0;
+  Mutex ewma_mutex;
+  double ewma_task_seconds ORDO_GUARDED_BY(ewma_mutex) = 0.0;
+  std::int64_t ewma_count ORDO_GUARDED_BY(ewma_mutex) = 0;
 
   // Registered subsystem sections.
-  std::mutex section_mutex;
-  std::map<std::string, SectionFn> sections;
+  Mutex section_mutex;
+  std::map<std::string, SectionFn> sections ORDO_GUARDED_BY(section_mutex);
 
   // Snapshot-serial state: per-counter values of the previous snapshot (for
   // deltas) and the previous hw sample (for the counter window).
-  std::mutex snapshot_mutex;
-  std::map<std::string, std::int64_t> last_counters;
-  hw::CounterSet last_hw;
-  std::int64_t last_hw_us = 0;
+  Mutex snapshot_mutex;
+  std::map<std::string, std::int64_t> last_counters
+      ORDO_GUARDED_BY(snapshot_mutex);
+  hw::CounterSet last_hw ORDO_GUARDED_BY(snapshot_mutex);
+  std::int64_t last_hw_us ORDO_GUARDED_BY(snapshot_mutex) = 0;
 };
 
 Board& board() {
@@ -234,7 +235,8 @@ void append_metrics_section(std::string& out,
 // previous snapshot's totals (the first window spans process start). The
 // section exists only when a hw session is enabled, and the derived fields
 // only when the window is valid — absent, never zero.
-void append_hw_section(std::string& out, Board& b, std::int64_t now_us) {
+void append_hw_section(std::string& out, Board& b, std::int64_t now_us)
+    ORDO_REQUIRES(b.snapshot_mutex) {
   const hw::CounterSet totals = hw::session_totals();
   out += "\"hw\":{";
   append_kv(out, "backend", hw::backend_name());
@@ -275,23 +277,24 @@ void append_hw_section(std::string& out, Board& b, std::int64_t now_us) {
 
 // --- process-wide consumers ------------------------------------------------
 
-std::mutex g_consumer_mutex;
-std::unique_ptr<StatusListener> g_listener;
-std::unique_ptr<HeartbeatWriter> g_heartbeat;
+Mutex g_consumer_mutex;
+std::unique_ptr<StatusListener> g_listener ORDO_GUARDED_BY(g_consumer_mutex);
+std::unique_ptr<HeartbeatWriter> g_heartbeat
+    ORDO_GUARDED_BY(g_consumer_mutex);
 std::atomic<bool> g_consumers{false};
 
 }  // namespace
 
 void register_section(const std::string& key, SectionFn fn) {
   Board& b = board();
-  std::lock_guard<std::mutex> lock(b.section_mutex);
+  MutexLock lock(b.section_mutex);
   b.sections[key] = std::move(fn);
 }
 
 void begin_run(std::int64_t total, int workers, std::int64_t resumed) {
   Board& b = board();
   {
-    std::lock_guard<std::mutex> lock(b.ewma_mutex);
+    MutexLock lock(b.ewma_mutex);
     b.ewma_task_seconds = 0.0;
     b.ewma_count = 0;
   }
@@ -313,7 +316,7 @@ void task_started(int index, const std::string& name,
   if (slot_id < 0) return;
   Slot& slot = board().slots[slot_id];
   {
-    std::lock_guard<std::mutex> lock(slot.name_mutex);
+    MutexLock lock(slot.name_mutex);
     slot.name = name;
   }
   const std::int64_t now = trace_now_us();
@@ -342,7 +345,7 @@ void task_finished(bool failed, bool timed_out, double seconds) {
     if (timed_out) b.timeouts.fetch_add(1);
   } else {
     b.completed.fetch_add(1);
-    std::lock_guard<std::mutex> lock(b.ewma_mutex);
+    MutexLock lock(b.ewma_mutex);
     b.ewma_task_seconds = b.ewma_count == 0
                               ? seconds
                               : kEwmaAlpha * seconds +
@@ -374,7 +377,7 @@ ProgressSnapshot progress() {
   double ewma = 0.0;
   std::int64_t ewma_count = 0;
   {
-    std::lock_guard<std::mutex> lock(b.ewma_mutex);
+    MutexLock lock(b.ewma_mutex);
     ewma = b.ewma_task_seconds;
     ewma_count = b.ewma_count;
   }
@@ -397,7 +400,7 @@ std::vector<WorkerSnapshot> in_flight_workers() {
     w.slot = i;
     w.task_index = slot.index.load();
     {
-      std::lock_guard<std::mutex> lock(slot.name_mutex);
+      MutexLock lock(slot.name_mutex);
       w.matrix = slot.name;
     }
     const char* phase = slot.phase.load();
@@ -422,7 +425,7 @@ std::string snapshot_json() {
   // ORDO_METRICS is unset).
   flush_metrics();
 
-  std::lock_guard<std::mutex> lock(b.snapshot_mutex);
+  MutexLock lock(b.snapshot_mutex);
   const std::int64_t now_us = trace_now_us();
   std::string out;
   out.reserve(4096);
@@ -439,7 +442,7 @@ std::string snapshot_json() {
   out += ',';
   append_metrics_section(out, b.last_counters);
   {
-    std::lock_guard<std::mutex> section_lock(b.section_mutex);
+    MutexLock section_lock(b.section_mutex);
     for (const auto& [key, fn] : b.sections) {
       out += ',';
       append_json_string(out, key);
@@ -474,19 +477,19 @@ void init_from_env() {
 
 void start_listener(int port) {
   auto listener = std::make_unique<StatusListener>("127.0.0.1", port);
-  std::lock_guard<std::mutex> lock(g_consumer_mutex);
+  MutexLock lock(g_consumer_mutex);
   g_listener = std::move(listener);
   g_consumers.store(true);
 }
 
 int listener_port() {
-  std::lock_guard<std::mutex> lock(g_consumer_mutex);
+  MutexLock lock(g_consumer_mutex);
   return g_listener ? g_listener->port() : 0;
 }
 
 void start_heartbeat(const std::string& path, double interval_seconds) {
   auto writer = std::make_unique<HeartbeatWriter>(path, interval_seconds);
-  std::lock_guard<std::mutex> lock(g_consumer_mutex);
+  MutexLock lock(g_consumer_mutex);
   g_heartbeat = std::move(writer);
   g_consumers.store(true);
 }
@@ -499,7 +502,7 @@ void stop() {
   std::unique_ptr<StatusListener> listener;
   std::unique_ptr<HeartbeatWriter> heartbeat;
   {
-    std::lock_guard<std::mutex> lock(g_consumer_mutex);
+    MutexLock lock(g_consumer_mutex);
     listener = std::move(g_listener);
     heartbeat = std::move(g_heartbeat);
     g_consumers.store(false);

@@ -9,17 +9,22 @@ namespace ordo::pipeline {
 constexpr std::chrono::milliseconds kScanPeriod{2};
 
 DeadlineWatchdog::~DeadlineWatchdog() {
+  // Move the thread out under the lock (it is guarded state — arm() may
+  // still be assigning it), then join without holding the mutex so the
+  // loop's final lock acquisition cannot deadlock against us.
+  std::thread scanner;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
+    scanner = std::move(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (scanner.joinable()) scanner.join();
 }
 
 void DeadlineWatchdog::arm(CancelToken* token,
                            std::chrono::steady_clock::time_point deadline) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_[token] = deadline;
   if (!thread_.joinable()) {
     thread_ = std::thread([this] { loop(); });
@@ -27,12 +32,12 @@ void DeadlineWatchdog::arm(CancelToken* token,
 }
 
 void DeadlineWatchdog::disarm(CancelToken* token) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_.erase(token);
 }
 
 void DeadlineWatchdog::loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (!stop_) {
     const auto now = std::chrono::steady_clock::now();
     for (auto it = armed_.begin(); it != armed_.end();) {
@@ -43,7 +48,7 @@ void DeadlineWatchdog::loop() {
         ++it;
       }
     }
-    cv_.wait_for(lock, kScanPeriod);
+    cv_.wait_for(lock.native(), kScanPeriod);
   }
 }
 

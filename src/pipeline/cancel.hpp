@@ -14,8 +14,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <map>
-#include <mutex>
 #include <thread>
+
+#include "core/thread_safety.hpp"
 
 namespace ordo::pipeline {
 
@@ -48,11 +49,14 @@ class DeadlineWatchdog {
  private:
   void loop();
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
-  std::map<CancelToken*, std::chrono::steady_clock::time_point> armed_;
-  std::thread thread_;
-  bool stop_ = false;
+  std::map<CancelToken*, std::chrono::steady_clock::time_point> armed_
+      ORDO_GUARDED_BY(mutex_);
+  // Guarded: arm() lazily starts the thread, so creation races with other
+  // arm() calls; the destructor moves it out under the lock before joining.
+  std::thread thread_ ORDO_GUARDED_BY(mutex_);
+  bool stop_ ORDO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ordo::pipeline

@@ -300,7 +300,7 @@ JournalWriter::JournalWriter(const std::string& path, const JournalKey& key) {
 }
 
 void JournalWriter::append(const JournalRecord& record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out_ << encode_record(record) << '\n' << std::flush;
 }
 

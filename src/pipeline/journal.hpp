@@ -14,11 +14,11 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/thread_safety.hpp"
 
 namespace ordo::pipeline {
 
@@ -66,8 +66,8 @@ class JournalWriter {
   void append(const JournalRecord& record);
 
  private:
-  std::mutex mutex_;
-  std::ofstream out_;
+  Mutex mutex_;
+  std::ofstream out_ ORDO_GUARDED_BY(mutex_);
 };
 
 }  // namespace ordo::pipeline

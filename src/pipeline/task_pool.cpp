@@ -32,7 +32,7 @@ TaskPool::TaskPool(int threads) {
 TaskPool::~TaskPool() {
   wait_idle();
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -42,26 +42,27 @@ TaskPool::~TaskPool() {
 void TaskPool::submit(std::function<void()> task) {
   std::size_t target;
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     target = next_++ % workers_.size();
     ++unclaimed_;
     ++in_flight_;
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    MutexLock lock(workers_[target]->mutex);
     workers_[target]->queue.push_back(std::move(task));
   }
   wake_cv_.notify_one();
 }
 
 void TaskPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(wake_mutex_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(wake_mutex_);
+  // Explicit wait loop — see worker_loop for why not the predicate form.
+  while (in_flight_ != 0) idle_cv_.wait(lock.native());
 }
 
 bool TaskPool::try_pop_own(std::size_t self, std::function<void()>& task) {
   Worker& w = *workers_[self];
-  std::lock_guard<std::mutex> lock(w.mutex);
+  MutexLock lock(w.mutex);
   if (w.queue.empty()) return false;
   task = std::move(w.queue.back());
   w.queue.pop_back();
@@ -72,7 +73,7 @@ bool TaskPool::try_steal(std::size_t self, std::function<void()>& task) {
   const std::size_t n = workers_.size();
   for (std::size_t k = 1; k < n; ++k) {
     Worker& victim = *workers_[(self + k) % n];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (victim.queue.empty()) continue;
     task = std::move(victim.queue.front());
     victim.queue.pop_front();
@@ -87,10 +88,12 @@ void TaskPool::worker_loop(std::size_t self) {
     std::function<void()> task;
     if (try_pop_own(self, task) || try_steal(self, task)) {
       {
-        std::lock_guard<std::mutex> lock(wake_mutex_);
+        MutexLock lock(wake_mutex_);
         --unclaimed_;
       }
 #if defined(ORDO_OBS_ENABLED)
+      // Relaxed: the occupancy gauge is telemetry; momentarily stale
+      // +-1 readings are fine (both fetch_add and fetch_sub below).
       obs::gauge("pipeline.pool.occupancy")
           .set(g_running.fetch_add(1, std::memory_order_relaxed) + 1);
 #endif
@@ -101,16 +104,18 @@ void TaskPool::worker_loop(std::size_t self) {
 #endif
       bool idle;
       {
-        std::lock_guard<std::mutex> lock(wake_mutex_);
+        MutexLock lock(wake_mutex_);
         idle = (--in_flight_ == 0);
       }
       if (idle) idle_cv_.notify_all();
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     if (stop_) return;
     if (unclaimed_ > 0) continue;  // raced with a submit; rescan the queues
-    wake_cv_.wait(lock, [this] { return stop_ || unclaimed_ > 0; });
+    // Explicit wait loop (not the predicate overload): the guarded reads
+    // stay lexically under the lock, where -Wthread-safety can see them.
+    while (!stop_ && unclaimed_ == 0) wake_cv_.wait(lock.native());
   }
 }
 
