@@ -24,6 +24,8 @@
 
 namespace ordo::engine {
 
+struct KernelDesc;  // registry.hpp
+
 /// How a kernel's ThreadPartition assigns rows to threads — this decides
 /// both which invariants the plan validator enforces and how the
 /// performance model derives each thread's row span.
@@ -90,6 +92,13 @@ struct Plan {
   int threads = 1;     ///< thread count the plan was prepared for
   ThreadPartition partition;
   std::shared_ptr<const PlanState> state;  ///< kernel-specific product
+  /// Registry descriptor, resolved once at prepare() time so execute() —
+  /// which runs inside every measured SpMV rep — skips the registry mutex
+  /// and map lookup. Safe to cache: descriptors live in a node-based map
+  /// and are never removed, so the address is stable for the process
+  /// lifetime. nullptr for hand-built plans; execute() falls back to a
+  /// lookup by id.
+  const KernelDesc* desc = nullptr;
 };
 
 }  // namespace ordo::engine
