@@ -123,7 +123,9 @@ StatusListener::StatusListener(const std::string& host, int port) {
 StatusListener::~StatusListener() { stop(); }
 
 void StatusListener::stop() {
-  if (stop_.exchange(true)) return;
+  // Relaxed: the flag only makes the accept loop's next poll tick exit;
+  // the join below is the real synchronization point.
+  if (stop_.exchange(true, std::memory_order_relaxed)) return;
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -132,7 +134,8 @@ void StatusListener::stop() {
 }
 
 void StatusListener::serve_loop() {
-  while (!stop_.load()) {
+  // Relaxed: see stop() — the poll timeout bounds how stale a read can be.
+  while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMillis);
     if (ready <= 0) continue;

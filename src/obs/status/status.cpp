@@ -44,6 +44,8 @@ struct Slot {
 };
 
 struct Board {
+  // ordo-analyze: allow(guard-coverage) the array itself is immutable;
+  // each Slot self-synchronises via its claimed/active atomics + name_mutex.
   Slot slots[kMaxSlots];
 
   // Run progress. Plain atomics: hooks are per-task, never per-inner-loop.
@@ -86,8 +88,10 @@ struct SlotLease {
   ~SlotLease() {
     if (slot < 0) return;
     Slot& s = board().slots[slot];
-    s.active.store(false);
-    s.claimed.store(false);
+    // Release pairs with the acquire CAS in claim_slot: the next thread to
+    // claim this slot must observe it fully quiesced.
+    s.active.store(false, std::memory_order_release);
+    s.claimed.store(false, std::memory_order_release);
   }
 };
 thread_local SlotLease tls_lease;
@@ -97,7 +101,10 @@ int claim_slot() {
   Board& b = board();
   for (int i = 0; i < kMaxSlots; ++i) {
     bool expected = false;
-    if (b.slots[i].claimed.compare_exchange_strong(expected, true)) {
+    // acq_rel: acquire the previous owner's release above, publish the
+    // claim before this thread starts writing slot fields.
+    if (b.slots[i].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
       tls_lease.slot = i;
       return i;
     }
@@ -298,17 +305,23 @@ void begin_run(std::int64_t total, int workers, std::int64_t resumed) {
     b.ewma_task_seconds = 0.0;
     b.ewma_count = 0;
   }
-  b.total.store(total);
-  b.completed.store(0);
-  b.failed.store(0);
-  b.timeouts.store(0);
-  b.resumed.store(resumed);
-  b.workers.store(workers);
-  b.run_start_us.store(trace_now_us());
-  b.running.store(true);
+  // Relaxed: independent progress counters, each read individually for
+  // display; the release store on `running` below publishes them all.
+  b.total.store(total, std::memory_order_relaxed);
+  b.completed.store(0, std::memory_order_relaxed);
+  b.failed.store(0, std::memory_order_relaxed);
+  b.timeouts.store(0, std::memory_order_relaxed);
+  b.resumed.store(resumed, std::memory_order_relaxed);
+  b.workers.store(workers, std::memory_order_relaxed);
+  b.run_start_us.store(trace_now_us(), std::memory_order_relaxed);
+  b.running.store(true, std::memory_order_release);
 }
 
-void end_run() { board().running.store(false); }
+void end_run() {
+  // Relaxed: nothing is published with the end-of-run flip; snapshot
+  // readers tolerate counters that settle a poll later.
+  board().running.store(false, std::memory_order_relaxed);
+}
 
 void task_started(int index, const std::string& name,
                   double deadline_seconds) {
@@ -320,31 +333,37 @@ void task_started(int index, const std::string& name,
     slot.name = name;
   }
   const std::int64_t now = trace_now_us();
-  slot.index.store(index);
-  slot.start_us.store(now);
+  // Relaxed field stores, published by the release store on `active`:
+  // snapshot readers only look at them after an acquire load sees true.
+  slot.index.store(index, std::memory_order_relaxed);
+  slot.start_us.store(now, std::memory_order_relaxed);
   slot.deadline_us.store(
       deadline_seconds > 0.0
           ? now + static_cast<std::int64_t>(deadline_seconds * 1e6)
-          : 0);
-  slot.phase.store(nullptr);
-  slot.active.store(true);
+          : 0,
+      std::memory_order_relaxed);
+  slot.phase.store(nullptr, std::memory_order_relaxed);
+  slot.active.store(true, std::memory_order_release);
 }
 
 void set_phase(const char* phase) {
   const int slot_id = tls_lease.slot;
   if (slot_id < 0) return;
   Slot& slot = board().slots[slot_id];
+  // Relaxed: the phase is advisory display state on the owner's own slot;
+  // the active flag's release store already ordered the slot handoff.
   if (!slot.active.load(std::memory_order_relaxed)) return;
   slot.phase.store(phase, std::memory_order_relaxed);
 }
 
 void task_finished(bool failed, bool timed_out, double seconds) {
   Board& b = board();
+  // Relaxed: pure tallies — no reader infers other state from them.
   if (failed) {
-    b.failed.fetch_add(1);
-    if (timed_out) b.timeouts.fetch_add(1);
+    b.failed.fetch_add(1, std::memory_order_relaxed);
+    if (timed_out) b.timeouts.fetch_add(1, std::memory_order_relaxed);
   } else {
-    b.completed.fetch_add(1);
+    b.completed.fetch_add(1, std::memory_order_relaxed);
     MutexLock lock(b.ewma_mutex);
     b.ewma_task_seconds = b.ewma_count == 0
                               ? seconds
@@ -352,28 +371,42 @@ void task_finished(bool failed, bool timed_out, double seconds) {
                                     (1.0 - kEwmaAlpha) * b.ewma_task_seconds;
     b.ewma_count += 1;
   }
-  if (tls_lease.slot >= 0) b.slots[tls_lease.slot].active.store(false);
+  if (tls_lease.slot >= 0) {
+    // Release pairs with the snapshot readers' acquire: a slot seen
+    // inactive must not still show this task's fields as live.
+    b.slots[tls_lease.slot].active.store(false, std::memory_order_release);
+  }
 }
 
 ProgressSnapshot progress() {
   Board& b = board();
   ProgressSnapshot p;
-  p.running = b.running.load();
-  p.total = b.total.load();
-  p.completed = b.completed.load();
-  p.failed = b.failed.load();
-  p.timeouts = b.timeouts.load();
-  p.resumed = b.resumed.load();
-  p.workers = b.workers.load();
+  // Acquire pairs with begin_run's release, ordering the counter reads
+  // below after the run-start publication; the counters themselves are
+  // relaxed tallies.
+  p.running = b.running.load(std::memory_order_acquire);
+  p.total = b.total.load(std::memory_order_relaxed);
+  p.completed = b.completed.load(std::memory_order_relaxed);
+  p.failed = b.failed.load(std::memory_order_relaxed);
+  p.timeouts = b.timeouts.load(std::memory_order_relaxed);
+  p.resumed = b.resumed.load(std::memory_order_relaxed);
+  p.workers = b.workers.load(std::memory_order_relaxed);
   for (const Slot& slot : b.slots) {
-    if (slot.claimed.load() && slot.active.load()) ++p.in_flight;
+    // Relaxed: the pair is a momentary occupancy count, not a data handoff.
+    if (slot.claimed.load(std::memory_order_relaxed) &&
+        slot.active.load(std::memory_order_relaxed)) {
+      ++p.in_flight;
+    }
   }
   const std::int64_t done = p.resumed + p.completed + p.failed;
   p.fraction = p.total > 0 ? static_cast<double>(done) /
                                  static_cast<double>(p.total)
                            : 0.0;
+  // Relaxed: published by the `running` release/acquire pair above.
   p.elapsed_seconds =
-      static_cast<double>(trace_now_us() - b.run_start_us.load()) / 1e6;
+      static_cast<double>(trace_now_us() -
+                          b.run_start_us.load(std::memory_order_relaxed)) /
+      1e6;
   double ewma = 0.0;
   std::int64_t ewma_count = 0;
   {
@@ -395,19 +428,29 @@ std::vector<WorkerSnapshot> in_flight_workers() {
   std::vector<WorkerSnapshot> workers;
   for (int i = 0; i < kMaxSlots; ++i) {
     Slot& slot = b.slots[i];
-    if (!slot.claimed.load() || !slot.active.load()) continue;
+    // Relaxed claim check; the acquire on `active` pairs with
+    // task_started's release so the field reads below see that task's
+    // values.
+    if (!slot.claimed.load(std::memory_order_relaxed) ||
+        !slot.active.load(std::memory_order_acquire)) {
+      continue;
+    }
     WorkerSnapshot w;
     w.slot = i;
-    w.task_index = slot.index.load();
+    // Relaxed: all published by the acquire load on `active` above.
+    w.task_index = slot.index.load(std::memory_order_relaxed);
     {
       MutexLock lock(slot.name_mutex);
       w.matrix = slot.name;
     }
-    const char* phase = slot.phase.load();
+    const char* phase = slot.phase.load(std::memory_order_relaxed);
     w.phase = phase != nullptr ? phase : "";
     w.elapsed_seconds =
-        static_cast<double>(now - slot.start_us.load()) / 1e6;
-    const std::int64_t deadline = slot.deadline_us.load();
+        static_cast<double>(now - slot.start_us.load(
+                                      std::memory_order_relaxed)) /
+        1e6;
+    const std::int64_t deadline =
+        slot.deadline_us.load(std::memory_order_relaxed);
     if (deadline > 0) {
       w.has_deadline = true;
       w.deadline_margin_seconds = static_cast<double>(deadline - now) / 1e6;
@@ -479,7 +522,9 @@ void start_listener(int port) {
   auto listener = std::make_unique<StatusListener>("127.0.0.1", port);
   MutexLock lock(g_consumer_mutex);
   g_listener = std::move(listener);
-  g_consumers.store(true);
+  // Relaxed: a hook racing the flip merely skips (or takes) one phase
+  // marker; the consumer objects themselves are guarded by the mutex.
+  g_consumers.store(true, std::memory_order_relaxed);
 }
 
 int listener_port() {
@@ -491,10 +536,12 @@ void start_heartbeat(const std::string& path, double interval_seconds) {
   auto writer = std::make_unique<HeartbeatWriter>(path, interval_seconds);
   MutexLock lock(g_consumer_mutex);
   g_heartbeat = std::move(writer);
-  g_consumers.store(true);
+  // Relaxed: same reasoning as start_listener.
+  g_consumers.store(true, std::memory_order_relaxed);
 }
 
 bool consumers_active() {
+  // Relaxed: same reasoning as start_listener.
   return g_consumers.load(std::memory_order_relaxed);
 }
 
@@ -505,7 +552,8 @@ void stop() {
     MutexLock lock(g_consumer_mutex);
     listener = std::move(g_listener);
     heartbeat = std::move(g_heartbeat);
-    g_consumers.store(false);
+    // Relaxed: same reasoning as start_listener.
+    g_consumers.store(false, std::memory_order_relaxed);
   }
   // Destructors join the service threads; the heartbeat's writes its final
   // snapshot first. Both run outside the consumer mutex so a slow join

@@ -91,6 +91,9 @@ void record_decision(int pick, int oracle, double regret,
                      double amortize_calls) {
   register_section_once();
   Counters& c = counters();
+  // Relaxed throughout this file: the counters are independent tallies
+  // aggregated for reporting. No reader infers cross-counter consistency,
+  // and the max-tracking CAS loop below tolerates stale views by retrying.
   c.decisions.fetch_add(1, std::memory_order_relaxed);
   if (pick >= 0 && pick < static_cast<int>(kNumOrderings)) {
     c.picks[pick].fetch_add(1, std::memory_order_relaxed);
@@ -110,6 +113,8 @@ void record_decision(int pick, int oracle, double regret,
 StatsSnapshot stats_snapshot() {
   const Counters& c = counters();
   StatsSnapshot s;
+  // Relaxed: a snapshot is a statistical read; slight skew between
+  // counters sampled mid-update is acceptable.
   s.decisions = c.decisions.load(std::memory_order_relaxed);
   s.oracle_hits = c.oracle_hits.load(std::memory_order_relaxed);
   for (std::size_t k = 0; k < kNumOrderings; ++k) {
@@ -129,6 +134,7 @@ StatsSnapshot stats_snapshot() {
 
 void reset_stats() {
   Counters& c = counters();
+  // Relaxed: reset runs between test cases when no recorder is active.
   c.decisions.store(0, std::memory_order_relaxed);
   c.oracle_hits.store(0, std::memory_order_relaxed);
   for (auto& p : c.picks) p.store(0, std::memory_order_relaxed);
