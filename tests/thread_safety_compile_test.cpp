@@ -1,0 +1,57 @@
+// Compile-time probe for the thread-safety annotation layer
+// (src/core/thread_safety.hpp). This TU is never linked into a binary; the
+// test harness runs the compiler over it with -fsyntax-only:
+//
+//   * default build           — must COMPILE under -Wthread-safety -Werror:
+//                               every access below holds the right lock.
+//   * -DORDO_TS_SEED_VIOLATION=1 — must FAIL to compile under clang's
+//                               -Wthread-safety -Werror: the seeded access
+//                               reads a guarded member without the lock.
+//                               (ctest marks that invocation WILL_FAIL.)
+//
+// If the seeded variant ever starts compiling, the annotation macros have
+// gone inert (for example ORDO_TS_ATTR was broken, or the capability
+// attributes were stripped) and the whole analysis is silently off — which
+// is exactly the regression this test exists to catch.
+#include "core/thread_safety.hpp"
+
+namespace {
+
+class AnnotatedCounter {
+ public:
+  void bump() {
+    ordo::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  int read_locked() {
+    ordo::MutexLock lock(mutex_);
+    return count_;
+  }
+
+  // Caller must hold the lock; the annotation is part of the contract.
+  int read_prelocked() ORDO_REQUIRES(mutex_) { return count_; }
+
+  int read_for_test() {
+#if defined(ORDO_TS_SEED_VIOLATION)
+    // Seeded violation: guarded read with no lock held. Under clang
+    // -Wthread-safety -Werror this line must not compile.
+    return count_;
+#else
+    ordo::MutexLock lock(mutex_);
+    return read_prelocked();
+#endif
+  }
+
+ private:
+  ordo::Mutex mutex_;
+  int count_ ORDO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  AnnotatedCounter counter;
+  counter.bump();
+  return counter.read_locked() - counter.read_for_test();
+}
