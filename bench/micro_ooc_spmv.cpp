@@ -1,0 +1,136 @@
+// Out-of-core SpMV microbench: the same streamed banded matrix is built
+// twice — once into the in-RAM vector backend, once spilled to an ORDOCSR
+// file behind the mmap backend — and the serial kernel is timed on each.
+// The gap between the two cases is the page-cache cost of reading CSR
+// arrays through a MAP_PRIVATE file mapping instead of heap, i.e. the
+// per-iteration tax ORDO_OOC_DIR buys its beyond-RAM capacity with.
+// Writes BENCH_ooc_spmv.json.
+//
+// Knobs: ORDO_OOC_N (rows, default 100000), ORDO_OOC_HB (half bandwidth,
+// default 64), ORDO_OOC_REPS (timed reps per backend, default 5),
+// ORDO_OOC_DIR (spill directory; default: a fresh temp directory that is
+// removed at exit).
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "corpus/stream.hpp"
+#include "sparse/csr.hpp"
+#include "spmv/spmv.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  return std::atoi(text);
+}
+
+double checksum(std::span<const ordo::value_t> y) {
+  double total = 0.0;
+  for (const ordo::value_t v : y) total += v;
+  return total;
+}
+
+/// Times `reps` serial SpMV sweeps over `a` and reports one BenchCase named
+/// `case_name`; returns the result checksum so the caller can cross-check
+/// the backends against each other.
+double run_backend(const ordo::CsrMatrix& a, const std::string& case_name,
+                   int reps) {
+  using clock = std::chrono::steady_clock;
+  const std::vector<ordo::value_t> x(
+      static_cast<std::size_t>(a.num_cols()), 1.0);
+  std::vector<ordo::value_t> y(static_cast<std::size_t>(a.num_rows()), 0.0);
+
+  // One untimed warm-up sweep: the mmap backend faults its pages in here,
+  // so the timed reps on both backends measure steady-state traffic.
+  ordo::spmv_serial(a, x, y);
+
+  ordo::obs::BenchCase bench_case;
+  bench_case.name = case_name;
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const clock::time_point start = clock::now();
+    ordo::spmv_serial(a, x, y);
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    bench_case.rep_seconds.push_back(seconds);
+    if (best_seconds == 0.0 || seconds < best_seconds) best_seconds = seconds;
+  }
+  const double flops = 2.0 * static_cast<double>(a.num_nonzeros());
+  bench_case.counters.emplace_back("gflops", flops / best_seconds / 1e9);
+  bench_case.counters.emplace_back("nnz", static_cast<double>(a.num_nonzeros()));
+  ordo::obs::bench_report().add_case(std::move(bench_case));
+
+  std::printf("  %-14s %8.4f s best of %d  (%.2f GFLOP/s, backend %s)\n",
+              case_name.c_str(), best_seconds, reps,
+              flops / best_seconds / 1e9, a.storage_backend());
+  return checksum(y);
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  using namespace ordo;
+  bench::init_observability("ooc_spmv");
+
+  StreamedBandedParams params;
+  params.n = static_cast<index_t>(env_int("ORDO_OOC_N", 100000));
+  params.half_bandwidth = static_cast<index_t>(env_int("ORDO_OOC_HB", 64));
+  params.density = 0.3;
+  params.seed = 42;
+  const int reps = env_int("ORDO_OOC_REPS", 5);
+
+  // Spill destination: ORDO_OOC_DIR when set (the study's convention),
+  // otherwise a private temp directory cleaned up before exit.
+  std::string spill_dir = ooc_dir_from_env();
+  bool owns_spill_dir = false;
+  if (spill_dir.empty()) {
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("ordo_ooc_spmv." + std::to_string(static_cast<long>(::getpid())));
+    fs::create_directories(dir);
+    spill_dir = dir.string();
+    owns_spill_dir = true;
+  }
+
+  std::printf("ooc_spmv: n=%" PRId64 " hb=%" PRId64
+              " density=%.2f (~%.1f MiB CSR), %d reps, spill %s\n",
+              static_cast<std::int64_t>(params.n),
+              static_cast<std::int64_t>(params.half_bandwidth), params.density,
+              static_cast<double>(estimated_banded_csr_bytes(params)) /
+                  (1024.0 * 1024.0),
+              reps, spill_dir.c_str());
+
+  const CsrMatrix in_ram = generate_banded_streamed(params, "", "ooc_bench");
+  const CsrMatrix spilled =
+      generate_banded_streamed(params, spill_dir, "ooc_bench");
+
+  const double ram_sum = run_backend(in_ram, "ooc_spmv_ram", reps);
+  const double mmap_sum = run_backend(spilled, "ooc_spmv_mmap", reps);
+
+  if (owns_spill_dir) fs::remove_all(spill_dir);
+
+  // The two backends hold bit-identical matrices, so the serial kernel must
+  // produce bit-identical results; a drift here means the storage seam
+  // corrupted the data and every timing above is meaningless.
+  if (std::memcmp(&ram_sum, &mmap_sum, sizeof(double)) != 0) {
+    std::fprintf(stderr,
+                 "ooc_spmv: checksum mismatch between backends "
+                 "(ram %.17g vs mmap %.17g)\n",
+                 ram_sum, mmap_sum);
+    return 1;
+  }
+  std::printf("ooc_spmv: backends agree (checksum %.6g)\n", ram_sum);
+  return 0;
+}

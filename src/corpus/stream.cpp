@@ -1,0 +1,126 @@
+#include "corpus/stream.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "sparse/storage.hpp"
+
+namespace ordo {
+namespace {
+
+// One not-yet-emitted row of the sliding band window: the lower-triangle
+// columns arrive while the row itself is processed, the upper-triangle
+// columns arrive from the later rows that draw an edge back to it. Both
+// arrive in ascending column order and the diagonal sits between them, so
+// the concatenation is already CSR-sorted.
+struct PendingRow {
+  std::vector<index_t> cols;
+  std::vector<value_t> values;
+};
+
+}  // namespace
+
+std::int64_t estimated_banded_csr_bytes(const StreamedBandedParams& params) {
+  // Expected nnz: one diagonal per row plus two mirrored entries per hit in
+  // the lower band (interior rows draw half_bandwidth slots each).
+  const double expected_nnz =
+      static_cast<double>(params.n) *
+      (1.0 + 2.0 * params.half_bandwidth * params.density);
+  return static_cast<std::int64_t>(
+      (params.n + 1) * sizeof(offset_t) +
+      expected_nnz * (sizeof(index_t) + sizeof(value_t)));
+}
+
+CsrMatrix generate_banded_streamed(const StreamedBandedParams& params,
+                                   const std::string& spill_dir,
+                                   const std::string& name) {
+  const index_t n = params.n;
+  const index_t hb = params.half_bandwidth;
+  require(n >= 0 && hb >= 0, "generate_banded_streamed: negative parameters");
+  // diag_for_degree(2 * half_bandwidth * density) of the in-RAM generator —
+  // tests/storage_test.cpp asserts bit-identity against gen_banded, so any
+  // drift between the two formulas fails tier 1.
+  const value_t diag = 2.0 * hb * params.density + 4.0;
+
+  // Identical RNG discipline to gen_banded: one uniform draw per in-range
+  // lower-band slot, consumed in (row, ascending column) order.
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  std::unique_ptr<PagedCsrWriter> writer;
+  std::vector<offset_t> ram_row_ptr;
+  std::vector<index_t> ram_cols;
+  std::vector<value_t> ram_values;
+  if (!spill_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(spill_dir);
+    writer = std::make_unique<PagedCsrWriter>(
+        (fs::path(spill_dir) / (name + ".ordocsr")).string(), n, n);
+  } else {
+    ram_row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+    ram_row_ptr.push_back(0);
+  }
+  auto emit = [&](const PendingRow& row) {
+    if (writer) {
+      writer->append_row(row.cols, row.values);
+    } else {
+      ram_cols.insert(ram_cols.end(), row.cols.begin(), row.cols.end());
+      ram_values.insert(ram_values.end(), row.values.begin(),
+                        row.values.end());
+      ram_row_ptr.push_back(static_cast<offset_t>(ram_cols.size()));
+    }
+  };
+
+  // Sliding window of pending rows [emit_next, i]: row j is complete once
+  // every row through j + half_bandwidth has drawn its lower band, so the
+  // window never holds more than half_bandwidth + 1 rows — the O(window)
+  // memory bound of the whole path.
+  std::deque<PendingRow> window;
+  index_t emit_next = 0;
+  for (index_t i = 0; i < n; ++i) {
+    window.emplace_back();
+    PendingRow& current = window.back();
+    for (index_t j = std::max<index_t>(0, i - hb); j < i; ++j) {
+      if (uniform(rng) < params.density) {
+        current.cols.push_back(j);
+        current.values.push_back(-0.5);
+        PendingRow& mirror = window[static_cast<std::size_t>(j - emit_next)];
+        mirror.cols.push_back(i);
+        mirror.values.push_back(-0.5);
+      }
+    }
+    // The diagonal lands after the lower-triangle run and before any upper
+    // entry a later row appends — ascending order holds by construction.
+    current.cols.push_back(i);
+    current.values.push_back(diag);
+    while (emit_next + hb <= i) {
+      emit(window.front());
+      window.pop_front();
+      ++emit_next;
+    }
+  }
+  while (!window.empty()) {
+    emit(window.front());
+    window.pop_front();
+  }
+
+  if (writer) return CsrMatrix(n, n, writer->finish());
+  return CsrMatrix(n, n, std::move(ram_row_ptr), std::move(ram_cols),
+                   std::move(ram_values));
+}
+
+CorpusEntry generate_streamed_entry(const std::string& name,
+                                    const StreamedBandedParams& params) {
+  CorpusEntry entry;
+  entry.group = "banded_ooc";
+  entry.name = name;
+  entry.spd = true;  // same structural family as the corpus "banded" slot
+  entry.matrix = generate_banded_streamed(params, ooc_dir_from_env(), name);
+  return entry;
+}
+
+}  // namespace ordo

@@ -1,0 +1,56 @@
+// Streamed corpus generation — the beyond-RAM producer path.
+//
+// The in-RAM generators (corpus/generators.hpp) assemble a CooMatrix and
+// convert it, which needs ~3x the final CSR footprint in heap at peak. For
+// matrices meant to exceed RAM that is a non-starter, so this module
+// re-derives the banded family row by row and emits rows straight into a
+// sparse/storage.hpp PagedCsrWriter: heap cost is O(rows + bandwidth)
+// regardless of nnz.
+//
+// Determinism contract: generate_banded_streamed consumes the exact RNG
+// stream of gen_banded and produces a bit-identical matrix for equal
+// parameters (asserted by tests/storage_test.cpp), so a study row computed
+// from a spilled matrix equals the row an in-RAM run would produce.
+//
+// Spill routing: when `spill_dir` is non-empty the matrix lands in an
+// ORDOCSR file `<spill_dir>/<name>.ordocsr` behind the mmap backend;
+// otherwise the same streaming code fills the in-RAM vector backend.
+// ooc_dir_from_env() (ORDO_OOC_DIR) supplies the conventional directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "corpus/corpus.hpp"
+#include "sparse/csr.hpp"
+
+namespace ordo {
+
+/// Parameters of one streamed banded matrix (the gen_banded family).
+struct StreamedBandedParams {
+  index_t n = 0;                 ///< rows == cols
+  index_t half_bandwidth = 8;    ///< entries live within |i-j| <= this
+  double density = 0.3;          ///< per-slot fill probability inside the band
+  std::uint64_t seed = 1;
+};
+
+/// Streams the banded matrix into `spill_dir` (mmap backend) or, when
+/// `spill_dir` is empty, into the in-RAM backend. Bit-identical to
+/// gen_banded(n, half_bandwidth, density, seed) either way. `name` names
+/// the spill file.
+CsrMatrix generate_banded_streamed(const StreamedBandedParams& params,
+                                   const std::string& spill_dir,
+                                   const std::string& name);
+
+/// A ready-to-study corpus entry around generate_banded_streamed, spilled
+/// under ORDO_OOC_DIR when that is set (group "banded_ooc"). This is the
+/// entry the beyond-RAM walkthrough in docs/EXPERIMENTS.md and the RSS-
+/// budget test build their corpora from.
+CorpusEntry generate_streamed_entry(const std::string& name,
+                                    const StreamedBandedParams& params);
+
+/// Estimated CSR bytes of a streamed banded matrix — what the spill-routing
+/// decision and the RSS-budget test size their limits against.
+std::int64_t estimated_banded_csr_bytes(const StreamedBandedParams& params);
+
+}  // namespace ordo

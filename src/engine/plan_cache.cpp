@@ -21,13 +21,24 @@ std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t value) {
 }  // namespace
 
 std::uint64_t matrix_fingerprint(const CsrMatrix& a) {
-  std::uint64_t h = kFnvOffset;
+  // The O(rows) row_ptr walk is memoized on the storage view: plans never
+  // assume (or touch) heap arrays, and for an mmap-backed matrix the walk
+  // pages the whole row_ptr region in — once, not on every cache lookup.
+  // Shared storage (CsrMatrix copies) shares the memo.
+  const std::uint64_t structure =
+      a.storage().memoized_structure_hash([](const CsrStorage& s) {
+        std::uint64_t h = kFnvOffset;
+        for (const offset_t entry : s.row_ptr()) {
+          h = fnv1a_u64(h, static_cast<std::uint64_t>(entry));
+        }
+        return h == 0 ? std::uint64_t{1} : h;  // 0 is the memo's sentinel
+      });
+  // Dimensions live on the matrix, not the storage; mix them in on top
+  // (O(1)) so equal structures with different logical shapes stay distinct.
+  std::uint64_t h = structure;
   h = fnv1a_u64(h, static_cast<std::uint64_t>(a.num_rows()));
   h = fnv1a_u64(h, static_cast<std::uint64_t>(a.num_cols()));
   h = fnv1a_u64(h, static_cast<std::uint64_t>(a.num_nonzeros()));
-  for (const offset_t entry : a.row_ptr()) {
-    h = fnv1a_u64(h, static_cast<std::uint64_t>(entry));
-  }
   return h;
 }
 

@@ -1,19 +1,64 @@
 #include "obs/status/heartbeat.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
+#include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/status/status.hpp"
 #include "sparse/types.hpp"
 
 namespace ordo::obs::status {
+namespace {
+
+/// The pid recorded in an existing heartbeat file, or -1 when the file is
+/// absent, unreadable or not a snapshot document (a half-written stranger
+/// file is not evidence of a live writer).
+long recorded_owner_pid(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return -1;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const JsonValue doc = parse_json(text.str());
+    if (const JsonValue* pid = doc.find("pid")) return pid->as_int();
+  } catch (const std::exception&) {
+    // Not a snapshot document; treat as ownerless.
+  }
+  return -1;
+}
+
+/// Signal-0 liveness probe: EPERM still means "exists" (owned by another
+/// user), only ESRCH means the pid is gone.
+bool pid_alive(long pid) {
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+}  // namespace
 
 HeartbeatWriter::HeartbeatWriter(std::string path, double interval_seconds)
     : path_(std::move(path)),
       interval_seconds_(std::max(0.1, interval_seconds)) {
+  // Refuse to clobber a live foreign heartbeat: if the path already holds a
+  // snapshot owned by a different, still-running process, two writers would
+  // alternate each other's state on one file (the classic mistake: a shard
+  // worker inheriting the parent's ORDO_STATUS_FILE). A dead owner's
+  // leftover is overwritten normally.
+  const long owner = recorded_owner_pid(path_);
+  require(owner < 0 || owner == static_cast<long>(::getpid()) ||
+              !pid_alive(owner),
+          "status: heartbeat file " + path_ +
+              " is owned by live process pid " + std::to_string(owner) +
+              "; refusing to clobber it (use a per-process path, e.g. a "
+              "shard-suffixed ORDO_STATUS_FILE)");
   write_snapshot();  // fail fast on an unwritable path, before the thread
   thread_ = std::thread([this] { loop(); });
   logf(LogLevel::kProgress, "status: heartbeat file %s every %.1fs",

@@ -19,13 +19,20 @@ class HeartbeatWriter {
  public:
   /// Writes a first snapshot immediately, then every `interval_seconds`
   /// (clamped to at least 100 ms) from a background thread. Throws
-  /// invalid_argument_error when `path` is not writable.
+  /// invalid_argument_error when `path` is not writable — or when `path`
+  /// already holds the live heartbeat of a *different* process (the
+  /// snapshot's "pid" names a still-running pid other than ours): two
+  /// concurrent writers on one path would tear each other's snapshots, so
+  /// every process (each shard worker of a sharded study in particular)
+  /// must write to its own file. A dead owner's leftover file is
+  /// overwritten normally.
   HeartbeatWriter(std::string path, double interval_seconds);
   ~HeartbeatWriter();  // = stop()
   HeartbeatWriter(const HeartbeatWriter&) = delete;
   HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
 
   const std::string& path() const { return path_; }
+  double interval_seconds() const { return interval_seconds_; }
 
   /// Joins the writer thread after one final snapshot write. Idempotent.
   void stop();

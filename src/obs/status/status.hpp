@@ -145,4 +145,19 @@ bool consumers_active();
 /// Idempotent; called from obs::finalize().
 void stop();
 
+/// Fork window support for the sharded study: stops and joins the consumer
+/// service threads (like stop()) but parks their configuration — the bound
+/// listener port and the heartbeat path/interval — so resume_consumers()
+/// can restart them identically. fork() clones only the calling thread, so
+/// forking while a listener or heartbeat thread holds a lock would leave
+/// the child with an unreleasable mutex; the shard parent calls this before
+/// forking workers and resume_consumers() once they are all spawned.
+void suspend_consumers();
+
+/// Restarts the consumers parked by the last suspend_consumers(). Rebinding
+/// the remembered port can fail if another process claimed it during the
+/// window (start_listener's throw propagates). No-op when nothing was
+/// suspended.
+void resume_consumers();
+
 }  // namespace ordo::obs::status

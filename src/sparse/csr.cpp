@@ -58,14 +58,27 @@ CsrMatrix assemble(index_t num_rows, index_t num_cols,
 
 }  // namespace
 
+CsrMatrix::CsrMatrix()
+    : storage_(std::make_shared<VectorStorage>()),
+      row_ptr_(storage_->row_ptr()),
+      col_idx_(storage_->col_idx()),
+      values_(storage_->values()) {}
+
 CsrMatrix::CsrMatrix(index_t num_rows, index_t num_cols,
                      std::vector<offset_t> row_ptr,
                      std::vector<index_t> col_idx, std::vector<value_t> values)
-    : num_rows_(num_rows),
-      num_cols_(num_cols),
-      row_ptr_(std::move(row_ptr)),
-      col_idx_(std::move(col_idx)),
-      values_(std::move(values)) {
+    : CsrMatrix(num_rows, num_cols,
+                std::make_shared<VectorStorage>(
+                    std::move(row_ptr), std::move(col_idx),
+                    std::move(values))) {}
+
+CsrMatrix::CsrMatrix(index_t num_rows, index_t num_cols,
+                     std::shared_ptr<CsrStorage> storage)
+    : num_rows_(num_rows), num_cols_(num_cols), storage_(std::move(storage)) {
+  require(storage_ != nullptr, "CsrMatrix: null storage");
+  row_ptr_ = storage_->row_ptr();
+  col_idx_ = storage_->col_idx();
+  values_ = storage_->values();
   validate();
 }
 
@@ -75,6 +88,19 @@ void CsrMatrix::validate() const {
   // (still an invalid_argument_error to callers, as before).
   check::validate_csr_raw(num_rows_, num_cols_, row_ptr_, col_idx_,
                           values_.size(), "CsrMatrix");
+}
+
+bool operator==(const CsrMatrix& a, const CsrMatrix& b) {
+  // Contents, not backends: an mmap-backed matrix equals its in-RAM twin.
+  // Exact double equality is the contract here — the study's byte-identity
+  // guarantees rest on bit-equal values.
+  return a.num_rows_ == b.num_rows_ && a.num_cols_ == b.num_cols_ &&
+         std::equal(a.row_ptr_.begin(), a.row_ptr_.end(),
+                    b.row_ptr_.begin(), b.row_ptr_.end()) &&
+         std::equal(a.col_idx_.begin(), a.col_idx_.end(),
+                    b.col_idx_.begin(), b.col_idx_.end()) &&
+         std::equal(a.values_.begin(), a.values_.end(), b.values_.begin(),
+                    b.values_.end());  // ordo-lint: allow(float-eq)
 }
 
 CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
@@ -97,6 +123,8 @@ CsrMatrix CsrMatrix::from_coo_symmetric_expand(const CooMatrix& coo) {
 }
 
 std::int64_t CsrMatrix::storage_bytes() const {
+  // Logical CSR footprint (what the performance model prices), independent
+  // of which backend holds the arrays.
   return static_cast<std::int64_t>(row_ptr_.size() * sizeof(offset_t)) +
          static_cast<std::int64_t>(col_idx_.size() * sizeof(index_t)) +
          static_cast<std::int64_t>(values_.size() * sizeof(value_t));

@@ -3,25 +3,43 @@
 // indices are stored in ascending order with no duplicates.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "sparse/coo.hpp"
+#include "sparse/storage.hpp"
 #include "sparse/types.hpp"
 
 namespace ordo {
 
 /// CSR sparse matrix with 64-bit row pointers, 32-bit column indices and
 /// double-precision values (Section 4.1 of the paper).
+///
+/// The arrays live behind a CsrStorage backend (sparse/storage.hpp): the
+/// in-RAM vector backend for ordinary matrices, the memory-mapped spill
+/// backend for matrices larger than RAM. The spans handed out below are
+/// resolved once at construction, so call sites are backend-agnostic and
+/// pay no virtual dispatch per access. Copies share the backing storage
+/// (copying a beyond-RAM matrix must never deep-copy it); the structure is
+/// immutable after construction and no in-tree consumer writes through the
+/// mutable values span of a copy, so sharing is observationally identical
+/// to the historical deep copy.
 class CsrMatrix {
  public:
-  CsrMatrix() = default;
+  CsrMatrix();
 
-  /// Takes ownership of prebuilt CSR arrays. Validates the invariants:
-  /// row_ptr has num_rows+1 monotone entries starting at 0; column indices
-  /// are in range and strictly ascending within each row.
+  /// Takes ownership of prebuilt CSR arrays (in-RAM backend). Validates the
+  /// invariants: row_ptr has num_rows+1 monotone entries starting at 0;
+  /// column indices are in range and strictly ascending within each row.
   CsrMatrix(index_t num_rows, index_t num_cols, std::vector<offset_t> row_ptr,
             std::vector<index_t> col_idx, std::vector<value_t> values);
+
+  /// Wraps an existing storage backend (the out-of-core path: the streamed
+  /// generators and the windowed-RCM apply hand over PagedCsrWriter
+  /// products here). Validates the same invariants.
+  CsrMatrix(index_t num_rows, index_t num_cols,
+            std::shared_ptr<CsrStorage> storage);
 
   /// Builds a CSR matrix from triplets. Duplicate entries are summed.
   static CsrMatrix from_coo(const CooMatrix& coo);
@@ -33,28 +51,28 @@ class CsrMatrix {
 
   index_t num_rows() const { return num_rows_; }
   index_t num_cols() const { return num_cols_; }
-  offset_t num_nonzeros() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+  offset_t num_nonzeros() const {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
 
   std::span<const offset_t> row_ptr() const { return row_ptr_; }
   std::span<const index_t> col_idx() const { return col_idx_; }
   std::span<const value_t> values() const { return values_; }
-  std::span<value_t> values() { return values_; }
+  std::span<value_t> values() { return storage_->values_mut(); }
 
   /// Number of nonzeros in row i.
   offset_t row_nonzeros(index_t i) const { return row_ptr_[i + 1] - row_ptr_[i]; }
 
   /// Column indices of row i.
   std::span<const index_t> row_cols(index_t i) const {
-    return std::span<const index_t>(col_idx_).subspan(
-        static_cast<std::size_t>(row_ptr_[i]),
-        static_cast<std::size_t>(row_nonzeros(i)));
+    return col_idx_.subspan(static_cast<std::size_t>(row_ptr_[i]),
+                            static_cast<std::size_t>(row_nonzeros(i)));
   }
 
   /// Values of row i.
   std::span<const value_t> row_values(index_t i) const {
-    return std::span<const value_t>(values_).subspan(
-        static_cast<std::size_t>(row_ptr_[i]),
-        static_cast<std::size_t>(row_nonzeros(i)));
+    return values_.subspan(static_cast<std::size_t>(row_ptr_[i]),
+                           static_cast<std::size_t>(row_nonzeros(i)));
   }
 
   /// True when the matrix is square.
@@ -64,16 +82,25 @@ class CsrMatrix {
   /// indices + values). Used by the performance model for memory traffic.
   std::int64_t storage_bytes() const;
 
-  friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
+  /// The backing store and its backend tag ("ram" or "mmap").
+  const CsrStorage& storage() const { return *storage_; }
+  const char* storage_backend() const { return storage_->backend(); }
+
+  /// Structural and numerical equality (dimension + array contents),
+  /// regardless of which backend holds each side.
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b);
 
  private:
   void validate() const;
 
   index_t num_rows_ = 0;
   index_t num_cols_ = 0;
-  std::vector<offset_t> row_ptr_{0};
-  std::vector<index_t> col_idx_;
-  std::vector<value_t> values_;
+  std::shared_ptr<CsrStorage> storage_;
+  // Span cache over storage_'s arrays, resolved once at construction (the
+  // backends' spans are stable for the storage lifetime).
+  std::span<const offset_t> row_ptr_;
+  std::span<const index_t> col_idx_;
+  std::span<const value_t> values_;
 };
 
 }  // namespace ordo

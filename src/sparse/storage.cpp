@@ -1,0 +1,241 @@
+#include "sparse/storage.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ordo {
+namespace {
+
+constexpr char kMagic[8] = {'O', 'R', 'D', 'O', 'C', 'S', 'R', '\0'};
+
+std::int64_t align8(std::int64_t offset) { return (offset + 7) & ~std::int64_t{7}; }
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MmapStorage
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<MmapStorage> MmapStorage::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  require(fd >= 0, "MmapStorage: cannot open " + path + ": " + errno_text());
+
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < static_cast<off_t>(sizeof(OocFileHeader))) {
+    ::close(fd);
+    throw invalid_argument_error("MmapStorage: " + path +
+                                 " is not an ORDOCSR spill file");
+  }
+  const std::size_t length = static_cast<std::size_t>(st.st_size);
+
+  // MAP_PRIVATE + PROT_READ: reads page straight from the file cache and
+  // stay clean/evictable — and, because the kernel charges private
+  // *writable* mappings (file-backed included) against RLIMIT_DATA, a
+  // read-only map keeps beyond-budget matrices addressable under an RSS
+  // budget. values_mut() upgrades to writable on first use; writes then
+  // dirty private copy-on-write pages, so the spill file stays immutable.
+  void* base = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  require(base != MAP_FAILED,
+          "MmapStorage: mmap of " + path + " failed: " + errno_text());
+
+  auto storage = std::shared_ptr<MmapStorage>(new MmapStorage());
+  storage->path_ = path;
+  storage->base_ = base;
+  storage->length_ = length;
+
+  const OocFileHeader& header = storage->header();
+  const bool sane =
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) == 0 &&
+      header.version == 1 && header.num_rows >= 0 && header.num_cols >= 0 &&
+      header.num_nonzeros >= 0 &&
+      header.col_idx_offset ==
+          static_cast<std::int64_t>(sizeof(OocFileHeader)) +
+              8 * (header.num_rows + 1) &&
+      header.values_offset ==
+          align8(header.col_idx_offset + 4 * header.num_nonzeros) &&
+      static_cast<std::int64_t>(length) >=
+          header.values_offset + 8 * header.num_nonzeros;
+  require(sane, "MmapStorage: " + path + " has a malformed ORDOCSR header");
+
+  auto* bytes = static_cast<unsigned char*>(base);
+  storage->row_ptr_ = {
+      reinterpret_cast<const offset_t*>(bytes + sizeof(OocFileHeader)),
+      static_cast<std::size_t>(header.num_rows + 1)};
+  storage->col_idx_ = {
+      reinterpret_cast<const index_t*>(bytes + header.col_idx_offset),
+      static_cast<std::size_t>(header.num_nonzeros)};
+  storage->values_ = {reinterpret_cast<value_t*>(bytes + header.values_offset),
+                      static_cast<std::size_t>(header.num_nonzeros)};
+  return storage;
+}
+
+MmapStorage::~MmapStorage() {
+  if (base_ != nullptr) ::munmap(base_, length_);
+}
+
+std::span<value_t> MmapStorage::values_mut() {
+  // Relaxed: see the member comment — the upgrade is idempotent and the
+  // kernel serializes the page-table change; the flag only skips a syscall.
+  if (!writable_.load(std::memory_order_relaxed)) {
+    require(::mprotect(base_, length_, PROT_READ | PROT_WRITE) == 0,
+            "MmapStorage: cannot make " + path_ +
+                " writable (private writable mappings count against "
+                "RLIMIT_DATA): " +
+                errno_text());
+    writable_.store(true, std::memory_order_relaxed);
+  }
+  return values_;
+}
+
+// ---------------------------------------------------------------------------
+// PagedCsrWriter
+// ---------------------------------------------------------------------------
+
+struct PagedCsrWriter::FileHandle {
+  std::FILE* file = nullptr;
+  std::string path;
+
+  ~FileHandle() {
+    if (file != nullptr) std::fclose(file);
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+PagedCsrWriter::PagedCsrWriter(std::string path, index_t num_rows,
+                               index_t num_cols)
+    : path_(std::move(path)), num_rows_(num_rows), num_cols_(num_cols) {
+  require(num_rows >= 0 && num_cols >= 0,
+          "PagedCsrWriter: negative dimensions");
+  row_ptr_.reserve(static_cast<std::size_t>(num_rows) + 1);
+  row_ptr_.push_back(0);
+  auto open_side = [&](const char* suffix) {
+    auto handle = std::make_unique<FileHandle>();
+    handle->path = path_ + suffix;
+    handle->file = std::fopen(handle->path.c_str(), "wb");
+    require(handle->file != nullptr, "PagedCsrWriter: cannot create " +
+                                         handle->path + ": " + errno_text());
+    return handle;
+  };
+  cols_out_ = open_side(".cols");
+  vals_out_ = open_side(".vals");
+}
+
+PagedCsrWriter::~PagedCsrWriter() = default;  // FileHandle removes leftovers
+
+void PagedCsrWriter::append_row(std::span<const index_t> cols,
+                                std::span<const value_t> values) {
+  require(!finished_, "PagedCsrWriter: append_row after finish");
+  require(next_row_ < num_rows_, "PagedCsrWriter: more rows than declared");
+  require(cols.size() == values.size(),
+          "PagedCsrWriter: cols/values length mismatch");
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    require(cols[k] >= 0 && cols[k] < num_cols_ &&
+                (k == 0 || cols[k] > cols[k - 1]),
+            "PagedCsrWriter: row columns must be strictly ascending and in "
+            "range");
+  }
+  if (!cols.empty()) {
+    require(std::fwrite(cols.data(), sizeof(index_t), cols.size(),
+                        cols_out_->file) == cols.size() &&
+                std::fwrite(values.data(), sizeof(value_t), values.size(),
+                            vals_out_->file) == values.size(),
+            "PagedCsrWriter: short write to " + path_ + " side files");
+  }
+  row_ptr_.push_back(row_ptr_.back() + static_cast<offset_t>(cols.size()));
+  ++next_row_;
+}
+
+std::shared_ptr<MmapStorage> PagedCsrWriter::finish() {
+  require(!finished_, "PagedCsrWriter: finish called twice");
+  require(next_row_ == num_rows_,
+          "PagedCsrWriter: finish before all rows were appended");
+  finished_ = true;
+
+  const offset_t nnz = row_ptr_.back();
+  OocFileHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.num_rows = num_rows_;
+  header.num_cols = num_cols_;
+  header.num_nonzeros = nnz;
+  header.col_idx_offset =
+      static_cast<std::int64_t>(sizeof(OocFileHeader)) + 8 * (num_rows_ + 1);
+  header.values_offset = align8(header.col_idx_offset + 4 * nnz);
+
+  require(std::fflush(cols_out_->file) == 0 &&
+              std::fflush(vals_out_->file) == 0,
+          "PagedCsrWriter: flush of side files failed");
+
+  std::FILE* out = std::fopen(path_.c_str(), "wb");
+  require(out != nullptr,
+          "PagedCsrWriter: cannot create " + path_ + ": " + errno_text());
+  bool ok = std::fwrite(&header, sizeof(header), 1, out) == 1;
+  ok = ok && std::fwrite(row_ptr_.data(), sizeof(offset_t), row_ptr_.size(),
+                         out) == row_ptr_.size();
+
+  // Stream-copy each side file into its section with a page-sized buffer.
+  auto copy_section = [&](FileHandle& side, std::int64_t pad_to) {
+    std::FILE* in = std::fopen(side.path.c_str(), "rb");
+    if (in == nullptr) return false;
+    char buffer[1 << 16];
+    std::size_t n = 0;
+    bool copied = true;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+      if (std::fwrite(buffer, 1, n, out) != n) {
+        copied = false;
+        break;
+      }
+    }
+    copied = copied && std::ferror(in) == 0;
+    std::fclose(in);
+    if (!copied) return false;
+    // Pad to the 8-byte-aligned start of the next section.
+    const std::int64_t pos = static_cast<std::int64_t>(std::ftell(out));
+    for (std::int64_t p = pos; copied && p < pad_to; ++p) {
+      copied = std::fputc(0, out) != EOF;
+    }
+    return copied;
+  };
+  ok = ok && copy_section(*cols_out_, header.values_offset);
+  ok = ok && copy_section(*vals_out_, header.values_offset + 8 * nnz);
+  ok = std::fclose(out) == 0 && ok;
+  cols_out_.reset();  // closes and removes the temporaries
+  vals_out_.reset();
+  if (!ok) {
+    std::remove(path_.c_str());
+    throw invalid_argument_error("PagedCsrWriter: assembling " + path_ +
+                                 " failed: " + errno_text());
+  }
+  // Release the row-pointer accumulation before mapping: from here on the
+  // matrix's heap footprint is bookkeeping only.
+  row_ptr_.clear();
+  row_ptr_.shrink_to_fit();
+  return MmapStorage::map(path_);
+}
+
+std::uint64_t CsrStorage::memoized_structure_hash(
+    std::uint64_t (*compute)(const CsrStorage&)) const {
+  // Relaxed: see the member comment — the computation is pure over
+  // immutable data, so the only race is two threads storing the same value.
+  std::uint64_t hash = structure_hash_.load(std::memory_order_relaxed);
+  if (hash != 0) return hash;
+  hash = compute(*this);
+  structure_hash_.store(hash, std::memory_order_relaxed);
+  return hash;
+}
+
+std::string ooc_dir_from_env() {
+  if (const char* dir = std::getenv("ORDO_OOC_DIR")) return dir;
+  return {};
+}
+
+}  // namespace ordo

@@ -1,0 +1,225 @@
+// Storage backends for CSR arrays — the seam that makes beyond-RAM
+// matrices first-class without touching a single kernel call site.
+//
+// A CsrMatrix does not own three std::vectors any more; it owns a
+// CsrStorage, an abstract triple of (row_ptr, col_idx, values) arrays
+// exposed as spans. Two backends implement it:
+//
+//   VectorStorage  in-RAM, heap-backed — the historical representation and
+//                  still the default for every corpus matrix that fits.
+//   MmapStorage    a memory-mapped spill file in the single-file ORDOCSR
+//                  layout below. Pages stream in on demand and clean pages
+//                  are evictable, so a matrix whose CSR exceeds physical
+//                  RAM (or an RSS budget) is still fully addressable. The
+//                  mapping is MAP_PRIVATE and starts read-only — Linux
+//                  charges private *writable* mappings against RLIMIT_DATA
+//                  even when file-backed, so the read path stays outside
+//                  any data-segment budget; the first values_mut() call
+//                  upgrades the protection, and mutation then dirties
+//                  process-local copy-on-write pages, never the file.
+//
+// PagedCsrWriter streams a matrix into the mmap backend row by row with
+// O(rows) bookkeeping and O(page) buffering — the producer half of the
+// out-of-core path (the streamed corpus generator and the windowed-RCM
+// apply both write through it).
+//
+// ORDOCSR spill-file layout (little-endian, 8-byte-aligned sections):
+//
+//   [0,   64)                      OocFileHeader
+//   [64,  64 + 8*(rows+1))         row_ptr   (offset_t = int64)
+//   [col_idx_offset, +4*nnz)       col_idx   (index_t  = int32)
+//   [values_offset,  +8*nnz)       values    (value_t  = double)
+//
+// Raw mmap/munmap stay confined to this layer — tools/ordo_lint.py rule
+// `mmap` bans them everywhere outside src/sparse/.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace ordo {
+
+/// Abstract backing store for one CSR matrix's three arrays. Accessors
+/// return spans so consumers never learn (or care) where the bytes live.
+class CsrStorage {
+ public:
+  virtual ~CsrStorage() = default;
+
+  virtual std::span<const offset_t> row_ptr() const = 0;
+  virtual std::span<const index_t> col_idx() const = 0;
+  virtual std::span<const value_t> values() const = 0;
+  /// Mutable values view. For MmapStorage this dirties private
+  /// copy-on-write pages; the spill file itself is never modified.
+  virtual std::span<value_t> values_mut() = 0;
+
+  /// Backend tag for diagnostics and the status board: "ram" or "mmap".
+  virtual const char* backend() const = 0;
+
+  /// Bytes resident in this process's heap (as opposed to pageable file
+  /// mappings). VectorStorage reports the full array footprint,
+  /// MmapStorage only its bookkeeping.
+  virtual std::int64_t heap_bytes() const = 0;
+
+  /// Memoizes a pure function of this storage's *structure* (the row_ptr
+  /// array; never the values). The engine keys its plan cache on a
+  /// row-structure hash that is O(rows) to compute — memoizing it here
+  /// makes repeat plan lookups O(1) and, for the mmap backend, stops every
+  /// lookup from re-paging the whole row_ptr region in. Valid because the
+  /// structure arrays are immutable after construction (only values_mut()
+  /// exists). `compute` must be deterministic and must never return 0
+  /// (0 is the "not yet computed" sentinel).
+  std::uint64_t memoized_structure_hash(
+      std::uint64_t (*compute)(const CsrStorage&)) const;
+
+ private:
+  // Relaxed atomics are enough: the hash is a pure function of immutable
+  // data, so racing threads compute identical values and either store wins.
+  mutable std::atomic<std::uint64_t> structure_hash_{0};
+};
+
+/// The in-RAM backend: owns the three arrays as plain vectors.
+class VectorStorage final : public CsrStorage {
+ public:
+  VectorStorage() = default;
+  VectorStorage(std::vector<offset_t> row_ptr, std::vector<index_t> col_idx,
+                std::vector<value_t> values)
+      : row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {}
+
+  std::span<const offset_t> row_ptr() const override { return row_ptr_; }
+  std::span<const index_t> col_idx() const override { return col_idx_; }
+  std::span<const value_t> values() const override { return values_; }
+  std::span<value_t> values_mut() override { return values_; }
+  const char* backend() const override { return "ram"; }
+  std::int64_t heap_bytes() const override {
+    return static_cast<std::int64_t>(row_ptr_.capacity() * sizeof(offset_t) +
+                                     col_idx_.capacity() * sizeof(index_t) +
+                                     values_.capacity() * sizeof(value_t));
+  }
+
+ private:
+  std::vector<offset_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<value_t> values_;
+};
+
+/// Header of an ORDOCSR spill file (64 bytes, little-endian host layout —
+/// spill files are scratch local to one run, never an interchange format).
+struct OocFileHeader {
+  char magic[8];  ///< "ORDOCSR\0"
+  std::uint32_t version = 1;
+  std::uint32_t reserved0 = 0;
+  std::int64_t num_rows = 0;
+  std::int64_t num_cols = 0;
+  std::int64_t num_nonzeros = 0;
+  std::int64_t col_idx_offset = 0;  ///< byte offset of the col_idx section
+  std::int64_t values_offset = 0;   ///< byte offset of the values section
+  std::int64_t reserved1 = 0;       ///< pads the header to 64 bytes
+};
+static_assert(sizeof(OocFileHeader) == 64, "ORDOCSR header must be 64 bytes");
+
+/// The memory-mapped backend: maps an ORDOCSR spill file privately and
+/// serves the three arrays straight out of the mapping.
+class MmapStorage final : public CsrStorage {
+ public:
+  /// Maps `path` (created by PagedCsrWriter). Throws invalid_argument_error
+  /// on open/map failure or a malformed header.
+  static std::shared_ptr<MmapStorage> map(const std::string& path);
+
+  ~MmapStorage() override;
+  MmapStorage(const MmapStorage&) = delete;
+  MmapStorage& operator=(const MmapStorage&) = delete;
+
+  std::span<const offset_t> row_ptr() const override { return row_ptr_; }
+  std::span<const index_t> col_idx() const override { return col_idx_; }
+  std::span<const value_t> values() const override {
+    return {values_.data(), values_.size()};
+  }
+  /// Upgrades the private mapping to writable on first use (reads never pay
+  /// the RLIMIT_DATA charge the kernel levies on private writable
+  /// mappings); writes land in copy-on-write pages, never the spill file.
+  /// Throws invalid_argument_error when the upgrade is refused (e.g. the
+  /// mapping no longer fits a data-segment budget).
+  std::span<value_t> values_mut() override;
+  const char* backend() const override { return "mmap"; }
+  std::int64_t heap_bytes() const override {
+    return static_cast<std::int64_t>(sizeof(*this));
+  }
+
+  const std::string& path() const { return path_; }
+  std::int64_t mapped_bytes() const {
+    return static_cast<std::int64_t>(length_);
+  }
+
+  index_t num_rows() const { return static_cast<index_t>(header().num_rows); }
+  index_t num_cols() const { return static_cast<index_t>(header().num_cols); }
+
+ private:
+  MmapStorage() = default;
+  const OocFileHeader& header() const {
+    return *reinterpret_cast<const OocFileHeader*>(base_);
+  }
+
+  std::string path_;
+  void* base_ = nullptr;
+  std::size_t length_ = 0;
+  // Relaxed atomic: the writable upgrade is idempotent (mprotect to the
+  // same protection is a no-op), so racing first callers both upgrade and
+  // either store wins; the kernel orders the page-table change itself.
+  mutable std::atomic<bool> writable_{false};
+  std::span<const offset_t> row_ptr_;
+  std::span<const index_t> col_idx_;
+  std::span<value_t> values_;
+};
+
+/// Streams a CSR matrix into an ORDOCSR spill file one row at a time.
+/// Heap cost is O(rows) for the accumulated row pointers plus the stdio
+/// buffers; the nonzero arrays go straight to disk. finish() assembles the
+/// final file, maps it, and returns the storage (the caller wraps it in a
+/// CsrMatrix, which validates the invariants on construction).
+class PagedCsrWriter {
+ public:
+  /// Opens the spill side files under `path` (+".cols"/".vals" temporaries).
+  /// Throws invalid_argument_error when they cannot be created.
+  PagedCsrWriter(std::string path, index_t num_rows, index_t num_cols);
+  ~PagedCsrWriter();
+  PagedCsrWriter(const PagedCsrWriter&) = delete;
+  PagedCsrWriter& operator=(const PagedCsrWriter&) = delete;
+
+  /// Appends the next row. `cols` must be strictly ascending and in range;
+  /// `cols` and `values` must have equal length. Rows are appended in
+  /// order, exactly num_rows times before finish().
+  void append_row(std::span<const index_t> cols,
+                  std::span<const value_t> values);
+
+  index_t rows_written() const { return next_row_; }
+  offset_t nonzeros_written() const { return row_ptr_.back(); }
+
+  /// Writes the final ORDOCSR file, removes the temporaries, and maps it.
+  /// The writer is spent afterwards.
+  std::shared_ptr<MmapStorage> finish();
+
+ private:
+  std::string path_;
+  index_t num_rows_ = 0;
+  index_t num_cols_ = 0;
+  index_t next_row_ = 0;
+  bool finished_ = false;
+  std::vector<offset_t> row_ptr_;
+  struct FileHandle;  // raw stdio handles live in the .cpp
+  std::unique_ptr<FileHandle> cols_out_;
+  std::unique_ptr<FileHandle> vals_out_;
+};
+
+/// The spill directory for out-of-core matrices: $ORDO_OOC_DIR, or empty
+/// when unset (meaning: no spill directory configured, stay in RAM).
+std::string ooc_dir_from_env();
+
+}  // namespace ordo

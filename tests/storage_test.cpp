@@ -1,0 +1,267 @@
+// Tests for the CSR storage seam (src/sparse/storage.hpp) and its
+// producers: VectorStorage/MmapStorage equivalence, the ORDOCSR spill
+// format written by PagedCsrWriter, the streamed corpus generator's
+// bit-identity contract against gen_banded, the out-of-core windowed-RCM
+// apply, and the structure-hash memo the engine keys its plan cache on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/generators.hpp"
+#include "corpus/stream.hpp"
+#include "engine/plan_cache.hpp"
+#include "reorder/reordering.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/storage.hpp"
+#include "spmv/spmv.hpp"
+
+namespace ordo {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Bit-exact CSR equality, span by span — operator== checks the same thing,
+// but spelled out the failure messages name the offending array.
+void expect_bit_identical(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_cols(), b.num_cols());
+  ASSERT_EQ(a.num_nonzeros(), b.num_nonzeros());
+  for (std::size_t i = 0; i < a.row_ptr().size(); ++i) {
+    ASSERT_EQ(a.row_ptr()[i], b.row_ptr()[i]) << "row_ptr[" << i << "]";
+  }
+  for (std::size_t k = 0; k < a.col_idx().size(); ++k) {
+    ASSERT_EQ(a.col_idx()[k], b.col_idx()[k]) << "col_idx[" << k << "]";
+  }
+  for (std::size_t k = 0; k < a.values().size(); ++k) {
+    ASSERT_EQ(a.values()[k], b.values()[k]) << "values[" << k << "]";
+  }
+}
+
+TEST(Storage, StreamedBandedMatchesGenBandedInRam) {
+  StreamedBandedParams params;
+  params.n = 300;
+  params.half_bandwidth = 7;
+  params.density = 0.4;
+  params.seed = 42;
+  const CsrMatrix streamed = generate_banded_streamed(params, "", "unused");
+  EXPECT_STREQ(streamed.storage_backend(), "ram");
+  const CsrMatrix reference =
+      gen_banded(params.n, params.half_bandwidth, params.density, params.seed);
+  expect_bit_identical(streamed, reference);
+}
+
+TEST(Storage, StreamedBandedMatchesGenBandedThroughMmap) {
+  const std::string dir = fresh_dir("ordo_storage_streamed_mmap");
+  StreamedBandedParams params;
+  params.n = 257;  // not a multiple of anything interesting
+  params.half_bandwidth = 5;
+  params.density = 0.6;
+  params.seed = 7;
+  const CsrMatrix spilled = generate_banded_streamed(params, dir, "banded");
+  EXPECT_STREQ(spilled.storage_backend(), "mmap");
+  EXPECT_TRUE(fs::exists(dir + "/banded.ordocsr"));
+  // The mmap backend keeps only bookkeeping on the heap.
+  EXPECT_LT(spilled.storage().heap_bytes(), 4096);
+
+  const CsrMatrix reference =
+      gen_banded(params.n, params.half_bandwidth, params.density, params.seed);
+  expect_bit_identical(spilled, reference);
+  EXPECT_TRUE(spilled == reference);  // operator== crosses backends
+  fs::remove_all(dir);
+}
+
+TEST(Storage, PagedWriterRoundTripsThroughMap) {
+  const std::string dir = fresh_dir("ordo_storage_roundtrip");
+  const std::string path = dir + "/tiny.ordocsr";
+  {
+    PagedCsrWriter writer(path, 3, 4);
+    const std::vector<index_t> r0 = {0, 2};
+    const std::vector<value_t> v0 = {1.0, 2.0};
+    writer.append_row(r0, v0);
+    writer.append_row({}, {});  // empty rows are legal
+    const std::vector<index_t> r2 = {1, 2, 3};
+    const std::vector<value_t> v2 = {3.0, 4.0, 5.0};
+    writer.append_row(r2, v2);
+    EXPECT_EQ(writer.rows_written(), 3);
+    EXPECT_EQ(writer.nonzeros_written(), 5);
+    const CsrMatrix first(3, 4, writer.finish());
+    EXPECT_STREQ(first.storage_backend(), "mmap");
+  }
+  // The finished file is self-contained: an independent re-map sees the
+  // same matrix, and the side-file temporaries are gone.
+  const CsrMatrix mapped(3, 4, MmapStorage::map(path));
+  const CsrMatrix expected(3, 4, {0, 2, 2, 5}, {0, 2, 1, 2, 3},
+                           {1.0, 2.0, 3.0, 4.0, 5.0});
+  expect_bit_identical(mapped, expected);
+  EXPECT_FALSE(fs::exists(path + ".cols"));
+  EXPECT_FALSE(fs::exists(path + ".vals"));
+  fs::remove_all(dir);
+}
+
+TEST(Storage, PagedWriterValidatesItsContract) {
+  const std::string dir = fresh_dir("ordo_storage_writer_contract");
+  {
+    PagedCsrWriter writer(dir + "/bad_cols.ordocsr", 2, 3);
+    const std::vector<index_t> descending = {2, 1};
+    const std::vector<value_t> values = {1.0, 1.0};
+    EXPECT_THROW(writer.append_row(descending, values),
+                 invalid_argument_error);
+    const std::vector<index_t> out_of_range = {3};
+    const std::vector<value_t> one = {1.0};
+    EXPECT_THROW(writer.append_row(out_of_range, one),
+                 invalid_argument_error);
+  }
+  {
+    PagedCsrWriter writer(dir + "/short.ordocsr", 2, 3);
+    writer.append_row({}, {});
+    EXPECT_THROW(writer.finish(), invalid_argument_error);  // one row missing
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Storage, MapRejectsMalformedFiles) {
+  const std::string dir = fresh_dir("ordo_storage_malformed");
+  const std::string garbage = dir + "/garbage.ordocsr";
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "this is not an ORDOCSR file, not even close to 64 header bytes "
+           "of it being one";
+  }
+  EXPECT_THROW(MmapStorage::map(garbage), invalid_argument_error);
+  EXPECT_THROW(MmapStorage::map(dir + "/missing.ordocsr"),
+               invalid_argument_error);
+  fs::remove_all(dir);
+}
+
+TEST(Storage, MmapValuesAreMutableCopyOnWrite) {
+  const std::string dir = fresh_dir("ordo_storage_cow");
+  const std::string path = dir + "/cow.ordocsr";
+  {
+    PagedCsrWriter writer(path, 1, 1);
+    const std::vector<index_t> cols = {0};
+    const std::vector<value_t> vals = {1.0};
+    writer.append_row(cols, vals);
+    writer.finish();
+  }
+  {
+    // Mutating the values span dirties private pages, never the file.
+    CsrMatrix m(1, 1, MmapStorage::map(path));
+    m.values()[0] = 99.0;
+    EXPECT_EQ(m.values()[0], 99.0);
+  }
+  const CsrMatrix remapped(1, 1, MmapStorage::map(path));
+  EXPECT_EQ(remapped.values()[0], 1.0);
+  fs::remove_all(dir);
+}
+
+TEST(Storage, SpmvAgreesAcrossBackends) {
+  const std::string dir = fresh_dir("ordo_storage_spmv");
+  StreamedBandedParams params;
+  params.n = 200;
+  params.half_bandwidth = 6;
+  params.density = 0.5;
+  params.seed = 3;
+  const CsrMatrix ram = generate_banded_streamed(params, "", "unused");
+  const CsrMatrix ooc = generate_banded_streamed(params, dir, "spmv");
+  ASSERT_STREQ(ooc.storage_backend(), "mmap");
+
+  std::vector<value_t> x(static_cast<std::size_t>(params.n));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0 + static_cast<double>(i % 13);
+  }
+  std::vector<value_t> y_ram(x.size(), 0.0);
+  std::vector<value_t> y_ooc(x.size(), 0.0);
+  spmv_1d(ram, x, y_ram, 4);
+  spmv_1d(ooc, x, y_ooc, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(y_ram[i], y_ooc[i]) << "y[" << i << "]";
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Storage, EngineFingerprintIsBackendInvariantAndMemoized) {
+  const std::string dir = fresh_dir("ordo_storage_fingerprint");
+  StreamedBandedParams params;
+  params.n = 150;
+  params.half_bandwidth = 4;
+  params.density = 0.5;
+  params.seed = 11;
+  const CsrMatrix ram = generate_banded_streamed(params, "", "unused");
+  const CsrMatrix ooc = generate_banded_streamed(params, dir, "fp");
+
+  // Equal structure and shape hash equally regardless of where the bytes
+  // live — the plan cache must hit across backends.
+  EXPECT_EQ(engine::matrix_fingerprint(ram), engine::matrix_fingerprint(ooc));
+
+  // The memo sticks to the storage: copies share it, and a second lookup
+  // must not recompute (the compute callback sees a zeroed memo only once).
+  const CsrMatrix copy = ram;
+  EXPECT_EQ(engine::matrix_fingerprint(copy), engine::matrix_fingerprint(ram));
+  const std::uint64_t first = ram.storage().memoized_structure_hash(
+      [](const CsrStorage&) -> std::uint64_t { return 0xdead; });
+  const std::uint64_t second = ram.storage().memoized_structure_hash(
+      [](const CsrStorage&) -> std::uint64_t { return 0xbeef; });
+  EXPECT_EQ(first, second);  // the second callback never ran
+  fs::remove_all(dir);
+}
+
+TEST(Storage, WindowedRcmIsValidDeterministicAndAppliesOutOfCore) {
+  const std::string dir = fresh_dir("ordo_storage_windowed_rcm");
+  StreamedBandedParams params;
+  params.n = 240;
+  params.half_bandwidth = 9;
+  params.density = 0.5;
+  params.seed = 5;
+  const CsrMatrix a = generate_banded_streamed(params, dir, "rcm_src");
+
+  const Permutation perm = windowed_rcm_ordering(a, 64);
+  EXPECT_TRUE(is_valid_permutation(perm));
+  EXPECT_EQ(perm, windowed_rcm_ordering(a, 64));  // deterministic
+  // A different window is a different (still valid) permutation family.
+  EXPECT_TRUE(is_valid_permutation(windowed_rcm_ordering(a, 32)));
+
+  Ordering ordering;
+  ordering.row_perm = perm;
+  ordering.col_perm = perm;
+  ordering.symmetric = true;
+  const CsrMatrix spilled =
+      apply_ordering_out_of_core(a, ordering, dir, "rcm_out");
+  EXPECT_STREQ(spilled.storage_backend(), "mmap");
+  const CsrMatrix reference = apply_ordering(a, ordering);
+  expect_bit_identical(spilled, reference);
+  fs::remove_all(dir);
+}
+
+TEST(Storage, EstimatedBytesBoundTheRealFootprint) {
+  StreamedBandedParams params;
+  params.n = 500;
+  params.half_bandwidth = 10;
+  params.density = 1.0;  // the estimate assumes a full band
+  const std::int64_t estimate = estimated_banded_csr_bytes(params);
+  const CsrMatrix a = generate_banded_streamed(params, "", "unused");
+  EXPECT_GE(estimate, a.storage_bytes());
+  // ...and is tight within the band-truncation slack at the edges.
+  EXPECT_LT(estimate, 2 * a.storage_bytes());
+}
+
+TEST(Storage, OocDirComesFromEnvironment) {
+  ::unsetenv("ORDO_OOC_DIR");
+  EXPECT_EQ(ooc_dir_from_env(), "");
+  ::setenv("ORDO_OOC_DIR", "/tmp/ordo_spill", 1);
+  EXPECT_EQ(ooc_dir_from_env(), "/tmp/ordo_spill");
+  ::unsetenv("ORDO_OOC_DIR");
+}
+
+}  // namespace
+}  // namespace ordo

@@ -23,6 +23,11 @@ Rules (see docs/ARCHITECTURE.md "Correctness tooling" for rationale):
                  (::socket/::bind/::listen/::accept/::connect or the
                  <sys/socket.h> family): the loopback-only status listener
                  is the single sanctioned network surface in the library.
+  mmap           src/ only, src/sparse/ exempt. No raw memory mapping
+                 (::mmap/::munmap/::ftruncate or <sys/mman.h>): the
+                 out-of-core storage backend (sparse/storage.hpp) is the
+                 single sanctioned mapping surface — everything else
+                 consumes CsrStorage spans and stays backend-agnostic.
   memory_order   src/ only. Every std::atomic operation that opens and
                  closes on one line (.load/.store/.exchange/.fetch_*/
                  .compare_exchange_*) must pass an explicit
@@ -136,6 +141,8 @@ OMP_RE = re.compile(r"#\s*pragma\s+omp\b")
 SOCKET_RE = re.compile(
     r"::\s*(?:socket|bind|listen|accept|connect)\s*\("
     r"|<sys/socket\.h>|<netinet/|<arpa/inet\.h>")
+MMAP_RE = re.compile(
+    r"::\s*(?:mmap|munmap|ftruncate)\s*\(|<sys/mman\.h>")
 # An atomic op whose argument list closes on the same line and names no
 # memory_order. Nested-paren and multi-line calls are left to the deeper
 # pass in tools/ordo_analyze.py.
@@ -174,6 +181,12 @@ def thread_exempt(relpath):
 def socket_exempt(relpath):
     return relpath.startswith(
         os.path.join("src", "obs", "status") + os.sep)
+
+
+def mmap_exempt(relpath):
+    # The storage backend owns the raw mappings (sparse/storage.hpp
+    # documents the ORDOCSR layout); every other layer consumes spans.
+    return relpath.startswith(os.path.join("src", "sparse") + os.sep)
 
 
 def chrono_exempt(relpath):
@@ -301,6 +314,10 @@ def lint_file(path):
                       "raw socket call outside src/obs/status/ — the "
                       "loopback status listener is the only sanctioned "
                       "network surface")
+            if not mmap_exempt(relpath):
+                check(lineno, "mmap", MMAP_RE.search(code),
+                      "raw memory mapping outside src/sparse/ — go through "
+                      "the CsrStorage backend seam (sparse/storage.hpp)")
             if not io_exempt(relpath):
                 check(lineno, "io", IO_RE.search(code),
                       "console I/O in library code — report through "
@@ -394,6 +411,10 @@ void tick(std::atomic<int>& n) {
 int open_backdoor() {
   return ::socket(2, 1, 0);
 }
+
+void* map_scratch(int fd, long n) {
+  return ::mmap(0, n, 3, 2, fd, 0);
+}
 """
 
 SEEDED_SUPPRESSED = """\
@@ -434,7 +455,7 @@ def self_test():
 
         fired = {v.rule for v in bad_violations}
         for rule in ("random", "thread", "io", "omp", "chrono", "socket",
-                     "memory_order", "float-eq", "include-order"):
+                     "mmap", "memory_order", "float-eq", "include-order"):
             if rule not in fired:
                 failures.append(f"rule '{rule}' did not fire on seeded code")
         if "pragma-once" not in {v.rule for v in hdr_violations}:
