@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -135,6 +136,11 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
   // part count to the machine's cores (Section 3.3), so it is computed per
   // distinct core count instead.
   obs::status::set_phase("reorder");
+  // Per-phase wall time feeds the tail-latency histograms ("phase.<name>"),
+  // the per-phase overhead distributions the reordering-effectiveness
+  // question hinges on. Boundary timestamps, not a Stopwatch window: the
+  // phase deliberately includes its own logging and validation.
+  std::int64_t phase_start_us = obs::trace_now_us();
   std::map<OrderingKind, CsrMatrix> reordered;
   for (OrderingKind kind : kinds) {
     if (kind == OrderingKind::kGp) continue;
@@ -185,8 +191,13 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
               arch.cores, reorder_millis);
   }
 
+  ORDO_LATENCY_RECORD(
+      "phase.reorder",
+      static_cast<double>(obs::trace_now_us() - phase_start_us) * 1e-6);
+
   // One reuse profile per reordered matrix, shared across machines.
   obs::status::set_phase("profile");
+  phase_start_us = obs::trace_now_us();
   std::map<OrderingKind, SpmvModel> models;
   {
     ORDO_SCOPE("study/reuse_profiles");
@@ -204,10 +215,15 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
     }
   }
 
+  ORDO_LATENCY_RECORD(
+      "phase.profile",
+      static_cast<double>(obs::trace_now_us() - phase_start_us) * 1e-6);
+
   // Order-sensitive features: bandwidth and profile are machine-
   // independent; the off-diagonal count uses the machine's core count as
   // block count and is computed per distinct thread count.
   obs::status::set_phase("features");
+  phase_start_us = obs::trace_now_us();
   std::map<OrderingKind, std::pair<std::int64_t, std::int64_t>> band_profile;
   for (const auto& [kind, matrix] : reordered) {
     band_profile[kind] = {matrix_bandwidth(matrix), matrix_profile(matrix)};
@@ -228,6 +244,9 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
       offdiag[key] = off_diagonal_block_nonzeros(matrix, arch.cores);
     }
   }
+  ORDO_LATENCY_RECORD(
+      "phase.features",
+      static_cast<double>(obs::trace_now_us() - phase_start_us) * 1e-6);
 
   // Host hardware-counter measurements, one per (kernel, reordered matrix).
   // GP matrices differ per core count, so those are keyed by cores; every
@@ -237,6 +256,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
   if (options.hw_counters) {
     ORDO_SCOPE("study/host_hw");
     obs::status::set_phase("spmv");
+    ORDO_LATENCY_SCOPE("phase.spmv");
     for (const SpmvKernel& kernel : kernels) {
       for (const auto& [kind, matrix] : reordered) {
         poll_cancelled(cancel, "run_matrix_study");
@@ -258,6 +278,7 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
 
   MatrixStudyRows rows;
   obs::status::set_phase("model");
+  phase_start_us = obs::trace_now_us();
   for (const Architecture& arch : machines) {
     poll_cancelled(cancel, "run_matrix_study");
     for (const SpmvKernel& kernel : kernels) {
@@ -320,6 +341,9 @@ MatrixStudyRows run_matrix_study(const CorpusEntry& entry,
       rows.emplace(std::make_pair(arch.name, kernel), std::move(row));
     }
   }
+  ORDO_LATENCY_RECORD(
+      "phase.model",
+      static_cast<double>(obs::trace_now_us() - phase_start_us) * 1e-6);
   // The selector annotation happens here — inside the task, before the rows
   // reach the journal — so resumed runs replay decisions instead of
   // recomputing them, and the live `select` status section fills in as the

@@ -1,0 +1,175 @@
+#include "obs/agg/trace_merge.hpp"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "core/thread_safety.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sparse/types.hpp"
+
+namespace ordo::obs::agg {
+namespace {
+
+struct InputRegistry {
+  Mutex mutex;
+  std::vector<TraceMergeInput> inputs ORDO_GUARDED_BY(mutex);
+};
+
+InputRegistry& input_registry() {
+  static InputRegistry* r = new InputRegistry;  // outlives atexit handlers
+  return *r;
+}
+
+void append_metadata_rows(std::string& out, std::int64_t pid,
+                          const std::string& label, int sort_index,
+                          bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"args\":{\"name\":";
+  append_json_string(out, label);
+  out += "}},{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"args\":{\"sort_index\":";
+  out += std::to_string(sort_index);
+  out += "}}";
+}
+
+}  // namespace
+
+void register_trace_merge_input(const std::string& path,
+                                const std::string& label) {
+  InputRegistry& r = input_registry();
+  MutexLock lock(r.mutex);
+  for (TraceMergeInput& input : r.inputs) {
+    if (input.path == path) {
+      input.label = label;
+      return;
+    }
+  }
+  r.inputs.push_back({path, label});
+}
+
+std::vector<TraceMergeInput> trace_merge_inputs() {
+  InputRegistry& r = input_registry();
+  MutexLock lock(r.mutex);
+  return r.inputs;
+}
+
+void clear_trace_merge_inputs() {
+  InputRegistry& r = input_registry();
+  MutexLock lock(r.mutex);
+  r.inputs.clear();
+}
+
+void write_merged_chrome_trace(std::ostream& out) {
+  const std::vector<TraceMergeInput> inputs = trace_merge_inputs();
+  const std::int64_t own_pid = static_cast<std::int64_t>(::getpid());
+  std::string own_label = trace_process_label();
+  if (own_label.empty()) own_label = "parent";
+
+  std::string doc;
+  doc.reserve(1 << 16);
+  doc += "{\"schema_version\":";
+  doc += std::to_string(kMetricsSchemaVersion);
+  doc += ",\"pid\":";
+  doc += std::to_string(own_pid);
+  doc += ",\"process_label\":";
+  append_json_string(doc, own_label);
+  doc += ",\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  // The calling process's own spans, on the first-sorted row.
+  append_metadata_rows(doc, own_pid, own_label, /*sort_index=*/0, first);
+  for (const SpanEvent& e : collect_trace()) {
+    doc += ",{\"name\":";
+    append_json_string(doc, e.name);
+    doc += ",\"cat\":\"ordo\",\"ph\":\"X\",\"ts\":";
+    doc += std::to_string(e.start_us);
+    doc += ",\"dur\":";
+    doc += std::to_string(e.duration_us);
+    doc += ",\"pid\":";
+    doc += std::to_string(own_pid);
+    doc += ",\"tid\":";
+    doc += std::to_string(e.thread_id);
+    doc += ",\"args\":{\"depth\":";
+    doc += std::to_string(e.depth);
+    doc += "}}";
+  }
+
+  int sort_index = 0;
+  for (const TraceMergeInput& input : inputs) {
+    ++sort_index;
+    std::string text;
+    {
+      std::ifstream in(input.path);
+      if (!in.good()) {
+        logf(LogLevel::kProgress,
+             "trace merge: skipping %s (unreadable — did that shard crash "
+             "before its trace export?)",
+             input.path.c_str());
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+    JsonValue parsed;
+    try {
+      parsed = parse_json(text);
+    } catch (const std::exception& e) {
+      logf(LogLevel::kProgress, "trace merge: skipping %s (torn JSON: %s)",
+           input.path.c_str(), e.what());
+      continue;
+    }
+    const JsonValue* events = parsed.find("traceEvents");
+    if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+      logf(LogLevel::kProgress,
+           "trace merge: skipping %s (no traceEvents array)",
+           input.path.c_str());
+      continue;
+    }
+    // Row identity: the file's own pid/label keys (written by
+    // write_chrome_trace), the registered label as fallback. A file
+    // without a pid gets a synthetic negative one so its rows never
+    // collide with a real process's.
+    const JsonValue* pid_value = parsed.find("pid");
+    const std::int64_t pid = pid_value != nullptr
+                                 ? pid_value->as_int()
+                                 : -static_cast<std::int64_t>(sort_index);
+    const JsonValue* label_value = parsed.find("process_label");
+    std::string label = label_value != nullptr ? label_value->as_string()
+                                               : input.label;
+    if (label.empty()) label = "pid " + std::to_string(pid);
+    append_metadata_rows(doc, pid, label, sort_index, first);
+    for (const JsonValue& event : events->items) {
+      // Metadata rows are re-authored above; everything else re-emits
+      // byte-preserving (raw number text keeps the timestamps exact).
+      if (const JsonValue* ph = event.find("ph")) {
+        if (ph->kind == JsonValue::Kind::kString && ph->text == "M") {
+          continue;
+        }
+      }
+      doc += ',';
+      append_json_value(doc, event);
+    }
+  }
+  doc += "]}\n";
+  out << doc;
+}
+
+void write_merged_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "write_merged_chrome_trace_file: cannot open " + path);
+  write_merged_chrome_trace(out);
+}
+
+}  // namespace ordo::obs::agg

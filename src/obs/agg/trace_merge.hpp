@@ -1,0 +1,50 @@
+// Chrome-trace stitching for sharded runs: each worker process writes its
+// own `ORDO_TRACE` file (suffixed `.shard<k>` at fork), and the parent —
+// whose finalize() calls write_merged_chrome_trace_file when any input is
+// registered — folds them into one trace_event document. Every process
+// keeps its real pid on its events, and a process_name metadata row maps
+// that pid to a human label ("parent", "shard 0", ...), so the whole sweep
+// opens as a single multi-process timeline in chrome://tracing / Perfetto.
+//
+// Timestamps need no rebasing: trace_now_us() anchors to a steady_clock
+// time_point pinned in the parent's init_from_env *before* the fork, and
+// the children inherit that anchor (CLOCK_MONOTONIC is machine-wide), so
+// parent and worker spans already share one time base.
+//
+// tools/ordo_trace_merge.py is the offline twin: it merges the same files
+// after the fact and validates a merged document in CI.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ordo::obs::agg {
+
+struct TraceMergeInput {
+  std::string path;   ///< a per-process Chrome trace file
+  std::string label;  ///< fallback process row name when the file has none
+};
+
+/// Registers a per-process trace file to fold into the merged export.
+/// Idempotent per path (a re-registration updates the label). The parent
+/// registers its workers' `.shard<k>` paths right after forking them.
+void register_trace_merge_input(const std::string& path,
+                                const std::string& label);
+
+/// All registered inputs, in registration order (their process_sort_index
+/// in the merged trace; the calling process itself sorts first).
+std::vector<TraceMergeInput> trace_merge_inputs();
+
+/// Drops all registered inputs (tests and repeated in-process runs).
+void clear_trace_merge_inputs();
+
+/// Writes the calling process's own spans plus every registered input's
+/// events as one Chrome trace_event document with per-pid process_name /
+/// process_sort_index metadata rows. An unreadable or torn input is
+/// logged and skipped — a crashed shard must not take the surviving
+/// shards' timeline with it.
+void write_merged_chrome_trace(std::ostream& out);
+void write_merged_chrome_trace_file(const std::string& path);
+
+}  // namespace ordo::obs::agg

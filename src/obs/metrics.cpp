@@ -8,6 +8,7 @@
 #include <ostream>
 
 #include "core/thread_safety.hpp"
+#include "obs/agg/latency_histogram.hpp"
 #include "sparse/types.hpp"
 
 namespace ordo::obs {
@@ -231,6 +232,17 @@ void write_metrics_json(std::ostream& out) {
     out << '}';
     return true;
   });
+  // Tail-latency histograms (obs/agg/latency_histogram.hpp), buckets
+  // included so two dumps — or N shard dumps — merge exactly. An additive
+  // group: schema_version stays 1, consumers reading only the three
+  // summary groups are unaffected. Lock order is registry mutex (held
+  // here) then the latency registry's own mutex; the latency layer never
+  // takes this registry's mutex, so the order cannot invert.
+  {
+    std::string latency;
+    agg::append_latency_section(latency, /*include_buckets=*/true);
+    out << ",\"latency\":" << latency;
+  }
   out << "}\n";
 }
 

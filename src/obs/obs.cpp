@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "core/thread_safety.hpp"
+#include "obs/agg/trace_merge.hpp"
 #include "obs/status/status.hpp"
 
 namespace ordo::obs {
@@ -124,8 +125,17 @@ void finalize() {
   // failure swallow the metrics dump (or vice versa).
   if (!trace_path.empty() && tracing_enabled()) {
     try {
-      write_chrome_trace_file(trace_path);
-      logf(LogLevel::kProgress, "wrote trace to %s", trace_path.c_str());
+      // With registered shard inputs (a sharded study ran), the export is
+      // the stitched multi-process timeline; otherwise the plain
+      // single-process document.
+      if (!agg::trace_merge_inputs().empty()) {
+        agg::write_merged_chrome_trace_file(trace_path);
+        logf(LogLevel::kProgress, "wrote merged trace to %s",
+             trace_path.c_str());
+      } else {
+        write_chrome_trace_file(trace_path);
+        logf(LogLevel::kProgress, "wrote trace to %s", trace_path.c_str());
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ordo: trace export failed: %s\n", e.what());
     }

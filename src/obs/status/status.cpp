@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "core/thread_safety.hpp"
+#include "obs/agg/latency_histogram.hpp"
 #include "obs/hw/hw_counters.hpp"
 #include "obs/hw/membw.hpp"
 #include "obs/json.hpp"
@@ -151,11 +152,15 @@ void append_run_section(std::string& out, const ProgressSnapshot& p) {
   append_kv(out, "fraction", p.fraction);
   out += ',';
   append_kv(out, "elapsed_seconds", p.elapsed_seconds);
-  // ETA is absent — not 0 — until this run's first completion: a monitor
-  // must distinguish "no forecast yet" from "done any second now".
+  // ETA and rate are absent — not 0 — until this run's first completion: a
+  // monitor must distinguish "no forecast yet" from "done any second now".
   if (p.has_eta) {
     out += ',';
     append_kv(out, "eta_seconds", p.eta_seconds);
+  }
+  if (p.has_rate) {
+    out += ',';
+    append_kv(out, "rate_tasks_per_second", p.rate_tasks_per_second);
   }
   out += '}';
 }
@@ -426,6 +431,11 @@ ProgressSnapshot progress() {
     p.eta_seconds = static_cast<double>(p.total - done) * ewma /
                     std::max(1, p.workers);
   }
+  if (ewma_count > 0 && ewma > 0.0) {
+    p.has_rate = true;
+    p.rate_tasks_per_second =
+        static_cast<double>(std::max(1, p.workers)) / ewma;
+  }
   return p;
 }
 
@@ -491,6 +501,18 @@ std::string snapshot_json() {
   append_workers_section(out, in_flight_workers());
   out += ',';
   append_metrics_section(out, b.last_counters);
+  {
+    // Tail-latency histograms, buckets included: the snapshot doubles as
+    // the heartbeat document a sharded parent merges exactly (bucket sums),
+    // so the wire form must carry the buckets, not just the percentiles.
+    // Absent — never an empty section — when nothing was recorded.
+    std::string latency;
+    agg::append_latency_section(latency, /*include_buckets=*/true);
+    if (latency != "{}") {
+      out += ",\"latency\":";
+      out += latency;
+    }
+  }
   {
     MutexLock section_lock(b.section_mutex);
     for (const auto& [key, fn] : b.sections) {

@@ -39,7 +39,10 @@ namespace ordo::obs::status {
 
 /// Layout version of the /stats and heartbeat documents; bumped whenever a
 /// field changes meaning so ordo_top and CI checkers can detect drift.
-inline constexpr int kStatusSchemaVersion = 1;
+/// v2: adds the "latency" section (tail-latency histograms with their
+/// merge-able buckets) and run.rate_tasks_per_second — the fields the
+/// sharded parent's fleet aggregation reads back from worker heartbeats.
+inline constexpr int kStatusSchemaVersion = 2;
 
 /// A subsystem section provider: appends one complete JSON value (object,
 /// array or scalar) to `out`. Must be callable from any thread and must not
@@ -99,6 +102,11 @@ struct ProgressSnapshot {
   bool has_eta = false;   ///< false until the first completion of this run
   double eta_seconds = 0.0;
   double elapsed_seconds = 0.0;  ///< since begin_run
+  /// Fleet-pace signal: workers / EWMA task seconds, the throughput the
+  /// straggler detector compares across shards. Absent (has_rate false)
+  /// until this run's first completion, like the ETA.
+  bool has_rate = false;
+  double rate_tasks_per_second = 0.0;
 };
 ProgressSnapshot progress();
 

@@ -8,13 +8,13 @@
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
-#include <fstream>
+#include <memory>
 #include <optional>
-#include <sstream>
 #include <utility>
 
 #include "engine/registry.hpp"
-#include "obs/json.hpp"
+#include "obs/agg/fleet.hpp"
+#include "obs/agg/trace_merge.hpp"
 #include "obs/obs.hpp"
 #include "obs/status/status.hpp"
 #include "pipeline/journal.hpp"
@@ -56,12 +56,27 @@ ShardExit describe_exit(int wait_status) {
                                    const StudyOptions& options,
                                    int shard_index) {
   int code = 0;
+  const std::string suffix = ".shard" + std::to_string(shard_index);
   try {
     // Drop the consumer state inherited from the parent (nothing is
     // running — the parent suspended its consumers before forking — but
     // the parked restart configuration must not leak into the child) and
     // start this worker's own heartbeat.
     obs::status::stop();
+    // Re-point the inherited per-process outputs: N workers writing the
+    // parent's ORDO_TRACE / ORDO_METRICS paths would clobber each other
+    // (and the parent's own dump), so each gets the journal/heartbeat
+    // naming scheme's .shard<k> suffix. The bench report stays with the
+    // parent — a worker writing BENCH_*.json would shadow the real one.
+    if (const std::string trace = obs::trace_output_path(); !trace.empty()) {
+      obs::set_trace_output_path(trace + suffix);
+    }
+    if (const std::string metrics = obs::metrics_output_path();
+        !metrics.empty()) {
+      obs::set_metrics_output_path(metrics + suffix);
+    }
+    obs::set_bench_report_output_path(std::string());
+    obs::set_trace_process_label("shard " + std::to_string(shard_index));
     obs::status::start_heartbeat(
         shard_heartbeat_path(options.checkpoint_dir, shard_index),
         /*interval_seconds=*/0.5);
@@ -73,62 +88,24 @@ ShardExit describe_exit(int wait_status) {
                  e.what());
     code = 1;
   }
-  // Final heartbeat snapshot, then leave without running the parent's
-  // atexit chain (obs::finalize would clobber the parent's metrics dump).
-  obs::status::stop();
+  // Orderly export before _exit skips the atexit chain: one final heartbeat
+  // snapshot plus this worker's own (suffixed) trace and metrics dumps —
+  // the parent's files are untouched because the paths were re-pointed
+  // above.
+  obs::finalize();
   std::fflush(nullptr);
   ::_exit(code);
 }
 
-/// Appends the "shards" /stats section: one row per worker, read back from
-/// its heartbeat file. Missing or torn files report heartbeat:false — the
-/// worker either has not written yet or died between snapshots.
-void append_shards_section(std::string& out, const std::string& checkpoint_dir,
-                           int shards) {
-  out += '[';
+/// The fleet monitor's shard list: heartbeat paths in shard order.
+obs::agg::FleetConfig fleet_config(const std::string& checkpoint_dir,
+                                   int shards) {
+  obs::agg::FleetConfig config;
+  config.shards.reserve(static_cast<std::size_t>(shards));
   for (int k = 0; k < shards; ++k) {
-    if (k > 0) out += ',';
-    out += "{\"shard\":" + std::to_string(k);
-    std::optional<obs::JsonValue> doc;
-    {
-      std::ifstream in(shard_heartbeat_path(checkpoint_dir, k));
-      if (in.good()) {
-        std::ostringstream text;
-        text << in.rdbuf();
-        try {
-          doc = obs::parse_json(text.str());
-        } catch (const std::exception&) {
-          doc.reset();
-        }
-      }
-    }
-    if (!doc) {
-      out += ",\"heartbeat\":false}";
-      continue;
-    }
-    out += ",\"heartbeat\":true";
-    if (const obs::JsonValue* pid = doc->find("pid")) {
-      out += ",\"pid\":" + pid->text;
-    }
-    if (const obs::JsonValue* run = doc->find("run")) {
-      for (const char* field :
-           {"running", "total", "completed", "failed", "resumed",
-            "fraction"}) {
-        if (const obs::JsonValue* value = run->find(field)) {
-          out += ",\"";
-          out += field;
-          out += "\":";
-          if (value->kind == obs::JsonValue::Kind::kBool) {
-            out += value->boolean ? "true" : "false";
-          } else {
-            out += value->text;
-          }
-        }
-      }
-    }
-    out += '}';
+    config.shards.push_back({k, shard_heartbeat_path(checkpoint_dir, k)});
   }
-  out += ']';
+  return config;
 }
 
 }  // namespace
@@ -244,11 +221,27 @@ StudyReport run_sharded_study(const std::vector<CorpusEntry>& corpus,
   obs::logf(obs::LogLevel::kProgress,
             "sharded study: %d workers over %zu matrices (checkpoints in %s)",
             shards, n, options.checkpoint_dir.c_str());
-  {
-    const std::string dir = options.checkpoint_dir;
-    obs::status::register_section("shards", [dir, shards](std::string& out) {
-      append_shards_section(out, dir, shards);
-    });
+  // Fleet telemetry: every parent /stats snapshot polls the worker
+  // heartbeats through the monitor — per-shard progress and liveness, a
+  // straggler verdict, and the bucket-exact merge of the workers' latency
+  // histograms. The monitor outlives this call inside the section lambda
+  // (late polls after end_run still see the final fleet state).
+  auto fleet_monitor = std::make_shared<obs::agg::FleetMonitor>(
+      fleet_config(options.checkpoint_dir, shards));
+  obs::status::register_section(
+      "fleet", [fleet_monitor](std::string& out) {
+        fleet_monitor->append_section(out);
+      });
+  // Each worker's trace file (suffixed at fork) feeds the parent's
+  // finalize-time stitch, so ORDO_TRACE on a sharded run yields one merged
+  // multi-process timeline at the configured path.
+  if (const std::string trace = obs::trace_output_path(); !trace.empty()) {
+    obs::set_trace_process_label("parent");
+    for (int k = 0; k < shards; ++k) {
+      obs::agg::register_trace_merge_input(
+          trace + ".shard" + std::to_string(k),
+          "shard " + std::to_string(k));
+    }
   }
 
   std::vector<ShardExit> exits(static_cast<std::size_t>(shards));
@@ -265,6 +258,14 @@ StudyReport run_sharded_study(const std::vector<CorpusEntry>& corpus,
       obs::logf(obs::LogLevel::kProgress, "shard %d %s", k,
                 exits[static_cast<std::size_t>(k)].reason.c_str());
     }
+  }
+
+  // Fold the workers' final latency histograms (their last heartbeat
+  // snapshots, bucket-exact) into the parent's own registry: the closing
+  // /stats snapshot, ordo_metrics.json and BENCH report then carry
+  // fleet-wide tail percentiles, not the parent's empty ones.
+  for (const auto& [name, snapshot] : fleet_monitor->poll().merged_latency) {
+    obs::agg::latency(name).merge(snapshot);
   }
 
   // Deterministic merge: replay every shard journal and failure file into

@@ -4,14 +4,19 @@
 //
 //   parent (orchestrator)
 //     ├── suspend status consumers, fork N workers, resume consumers
-//     ├── register "shards" /stats section (aggregates worker heartbeats)
+//     ├── register the "fleet" /stats section (obs/agg/fleet.hpp polls the
+//     │   worker heartbeats: progress, liveness, stragglers, merged
+//     │   latency histograms) and the workers' trace files as merge inputs
 //     ├── waitpid × N  (a crashed worker faults only its own slice)
+//     ├── fold the workers' final latency snapshots into its own registry
 //     └── merge: replay every shard journal + failure file in corpus
 //         order, synthesize StudyTaskFailure rows for a crashed worker's
 //         unfinished slice, write the merged study_journal.jsonl and
-//         study_failures.jsonl
+//         study_failures.jsonl; finalize() stitches the shard traces into
+//         one multi-process timeline (obs/agg/trace_merge.hpp)
 //   worker k (forked child, _exits, never returns)
 //     ├── heartbeat → <checkpoint_dir>/ordo_status.shard<k>.json
+//     ├── ORDO_TRACE / ORDO_METRICS re-pointed to <path>.shard<k>
 //     └── run_study_pipeline over the slice { i : i mod N == k },
 //         journal → study_journal.shard<k>.jsonl
 //
@@ -26,9 +31,10 @@
 //     (host hw counters are opt-in and refused with sharding), so the
 //     merged results are byte-identical to a --shards 1 run for every N,
 //     including a resume after a worker was SIGKILLed mid-run.
-//   * Workers leave the parent via _exit: no atexit flushes, no double
-//     observability finalization, no inherited consumer threads (the
-//     parent suspends its listener/heartbeat around the fork window).
+//   * Workers leave via _exit after one explicit obs::finalize(): their
+//     trace/metrics dumps go to the .shard<k>-suffixed paths set at fork,
+//     never the parent's files, and no inherited consumer thread exists
+//     (the parent suspends its listener/heartbeat around the fork window).
 #pragma once
 
 #include <string>
@@ -42,7 +48,7 @@ namespace ordo::pipeline {
 /// Heartbeat file of shard worker `shard_index`: `$ORDO_STATUS_FILE.shard<k>`
 /// when ORDO_STATUS_FILE is set (so an operator watching one file finds the
 /// per-shard files next to it), else
-/// `<checkpoint_dir>/ordo_status.shard<k>.json`. The parent's "shards"
+/// `<checkpoint_dir>/ordo_status.shard<k>.json`. The parent's "fleet"
 /// status section reads the same paths back.
 std::string shard_heartbeat_path(const std::string& checkpoint_dir,
                                  int shard_index);

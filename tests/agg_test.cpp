@@ -1,0 +1,536 @@
+// Fleet-telemetry aggregation suite (src/obs/agg/): the tail-latency
+// histogram's bucket arithmetic and exact merge, its JSON wire forms, the
+// FleetMonitor's liveness/straggler verdicts over synthetic heartbeat
+// files, and the in-process Chrome trace stitcher. The TsanStressTest
+// cases run again under the sanitizer CI job (ctest -R '^TsanStress').
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/agg/fleet.hpp"
+#include "obs/agg/latency_histogram.hpp"
+#include "obs/agg/trace_merge.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ordo {
+namespace {
+
+namespace agg = obs::agg;
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// --- bucket arithmetic -----------------------------------------------------
+
+TEST(LatencyHistogram, BucketIndexRoundTripsThroughLowerBound) {
+  // Every bucket's lower bound must index back into that same bucket, and
+  // the lower bounds must be strictly increasing — together these pin the
+  // bucketing as a partition of [0, inf).
+  std::int64_t previous = -1;
+  for (int i = 0; i < agg::kLatencyBuckets; ++i) {
+    const std::int64_t lower = agg::latency_bucket_lower_ns(i);
+    EXPECT_EQ(agg::latency_bucket_index(lower), i) << "lower=" << lower;
+    EXPECT_GT(lower, previous) << "at index " << i;
+    previous = lower;
+  }
+  // Unit-resolution below 2^3 ns, exact at the sub-bucket boundaries above.
+  EXPECT_EQ(agg::latency_bucket_index(0), 0);
+  EXPECT_EQ(agg::latency_bucket_index(7), 7);
+  EXPECT_EQ(agg::latency_bucket_lower_ns(0), 0);
+  // Negative durations (clock went backwards) clamp to the first bucket;
+  // absurdly large ones clamp to the last instead of indexing out of range.
+  EXPECT_EQ(agg::latency_bucket_index(-5), 0);
+  EXPECT_EQ(agg::latency_bucket_index(std::int64_t{1} << 62),
+            agg::kLatencyBuckets - 1);
+}
+
+TEST(LatencyHistogram, BucketWidthStaysWithinOneEighthOfLowerBound) {
+  // The relative-error contract: 8 sub-buckets per octave means a recorded
+  // value is under-reported by at most 12.5% when quoted as its bucket's
+  // lower bound (the percentile convention).
+  for (int i = 8; i + 1 < agg::kLatencyBuckets; ++i) {
+    const std::int64_t lower = agg::latency_bucket_lower_ns(i);
+    const std::int64_t next = agg::latency_bucket_lower_ns(i + 1);
+    EXPECT_LE((next - lower) * 8, lower) << "bucket " << i << " too wide";
+  }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneAndBracketTheSamples) {
+  agg::LatencyHistogram histogram;
+  // A long-tailed sample: 90 fast, 9 medium, 1 slow.
+  for (int i = 0; i < 90; ++i) histogram.record_ns(1'000);
+  for (int i = 0; i < 9; ++i) histogram.record_ns(100'000);
+  histogram.record_ns(50'000'000);
+  const agg::LatencySnapshot snapshot = histogram.snapshot();
+
+  EXPECT_EQ(snapshot.count, 100);
+  EXPECT_EQ(snapshot.sum_ns, 90 * 1'000 + 9 * 100'000 + 50'000'000);
+  const std::int64_t p50 = snapshot.percentile_ns(0.50);
+  const std::int64_t p90 = snapshot.percentile_ns(0.90);
+  const std::int64_t p99 = snapshot.percentile_ns(0.99);
+  const std::int64_t p999 = snapshot.percentile_ns(0.999);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  // Each quantile lands in the recorded value's bucket: lower bound at most
+  // the value, within the 12.5% width contract below it.
+  EXPECT_EQ(p50, agg::latency_bucket_lower_ns(agg::latency_bucket_index(1'000)));
+  EXPECT_EQ(p99,
+            agg::latency_bucket_lower_ns(agg::latency_bucket_index(100'000)));
+  EXPECT_EQ(p999, agg::latency_bucket_lower_ns(
+                      agg::latency_bucket_index(50'000'000)));
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsAbsentNotZero) {
+  const agg::LatencySnapshot empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.percentile_ns(0.99), 0);
+
+  // A named-but-never-recorded histogram must not appear in the section:
+  // monitors render what exists, never "p99 0s".
+  agg::latency("test.agg.never_recorded");
+  std::string section;
+  agg::append_latency_section(section, /*include_buckets=*/false);
+  const obs::JsonValue doc = obs::parse_json(section);
+  EXPECT_EQ(doc.find("test.agg.never_recorded"), nullptr);
+}
+
+TEST(LatencyHistogram, MergeIsExactAssociativeAndCommutative) {
+  agg::LatencyHistogram a;
+  agg::LatencyHistogram b;
+  agg::LatencyHistogram c;
+  agg::LatencyHistogram everything;
+  const std::int64_t samples_a[] = {5, 123, 9'999, 1'000'000};
+  const std::int64_t samples_b[] = {7, 123, 55'000'000};
+  const std::int64_t samples_c[] = {0, 3'000'000'000};
+  for (const std::int64_t ns : samples_a) a.record_ns(ns), everything.record_ns(ns);
+  for (const std::int64_t ns : samples_b) b.record_ns(ns), everything.record_ns(ns);
+  for (const std::int64_t ns : samples_c) c.record_ns(ns), everything.record_ns(ns);
+
+  // (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c): bucket sums are integers, so the merge is
+  // exact and the comparison is integer equality, bucket for bucket.
+  agg::LatencySnapshot left = a.snapshot();
+  left.merge(b.snapshot());
+  left.merge(c.snapshot());
+  agg::LatencySnapshot right = b.snapshot();
+  right.merge(c.snapshot());
+  agg::LatencySnapshot right_total = a.snapshot();
+  right_total.merge(right);
+  const agg::LatencySnapshot direct = everything.snapshot();
+  for (int i = 0; i < agg::kLatencyBuckets; ++i) {
+    EXPECT_EQ(left.buckets[i], right_total.buckets[i]) << "bucket " << i;
+    EXPECT_EQ(left.buckets[i], direct.buckets[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(left.count, direct.count);
+  EXPECT_EQ(left.sum_ns, direct.sum_ns);
+  // Exactness carries to the derived quantiles: merged-then-derive equals
+  // derive-on-the-union at every probed quantile.
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(left.percentile_ns(q), direct.percentile_ns(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, JsonRoundTripPreservesBuckets) {
+  agg::LatencyHistogram histogram;
+  histogram.record_ns(42);
+  histogram.record_ns(42);
+  histogram.record_ns(123'456'789);
+  const agg::LatencySnapshot original = histogram.snapshot();
+
+  std::string json;
+  agg::append_latency_snapshot_json(json, original, /*include_buckets=*/true);
+  const agg::ParsedLatencySnapshot parsed =
+      agg::parse_latency_snapshot(obs::parse_json(json));
+  ASSERT_TRUE(parsed.has_buckets);
+  EXPECT_EQ(parsed.snapshot.count, original.count);
+  EXPECT_EQ(parsed.snapshot.sum_ns, original.sum_ns);
+  for (int i = 0; i < agg::kLatencyBuckets; ++i) {
+    EXPECT_EQ(parsed.snapshot.buckets[i], original.buckets[i]);
+  }
+
+  // The percentiles-only form (fleet section, BENCH reports) parses too,
+  // just without bucket detail.
+  std::string thin;
+  agg::append_latency_snapshot_json(thin, original, /*include_buckets=*/false);
+  const agg::ParsedLatencySnapshot thin_parsed =
+      agg::parse_latency_snapshot(obs::parse_json(thin));
+  EXPECT_FALSE(thin_parsed.has_buckets);
+  EXPECT_EQ(thin_parsed.snapshot.count, original.count);
+}
+
+TEST(LatencyHistogram, RegistryMergeFeedsNamedHistogram) {
+  // The parent's post-waitpid fold: merging a worker's snapshot into a
+  // named histogram adds to whatever the parent recorded itself.
+  agg::LatencyHistogram worker;
+  worker.record_ns(2'000);
+  worker.record_ns(4'000);
+  agg::latency("test.agg.fold").record_ns(1'000);
+  agg::latency("test.agg.fold").merge(worker.snapshot());
+  const agg::LatencySnapshot folded = agg::latency("test.agg.fold").snapshot();
+  EXPECT_EQ(folded.count, 3);
+  EXPECT_EQ(folded.sum_ns, 7'000);
+}
+
+// --- fleet monitor ---------------------------------------------------------
+
+// Writes a minimal heartbeat document a FleetMonitor can read back.
+void write_heartbeat(const std::string& path, std::int64_t pid, bool running,
+                     std::int64_t completed, std::int64_t total,
+                     double rate_tasks_per_second, double elapsed_seconds,
+                     const std::string& latency_json = std::string()) {
+  std::ostringstream doc;
+  doc << "{\"schema_version\":2,\"pid\":" << pid << ",\"run\":{\"running\":"
+      << (running ? "true" : "false") << ",\"total\":" << total
+      << ",\"completed\":" << completed
+      << ",\"failed\":0,\"resumed\":0,\"fraction\":"
+      << (total > 0 ? static_cast<double>(completed) /
+                          static_cast<double>(total)
+                    : 0.0)
+      << ",\"elapsed_seconds\":" << elapsed_seconds;
+  if (rate_tasks_per_second > 0.0) {
+    doc << ",\"rate_tasks_per_second\":" << rate_tasks_per_second;
+  }
+  doc << "},\"workers\":[{\"slot\":0,\"task_index\":1,\"matrix\":\"m\","
+         "\"phase\":\"spmv\",\"elapsed_seconds\":1.0}]";
+  if (!latency_json.empty()) doc << ",\"latency\":" << latency_json;
+  doc << "}\n";
+  std::ofstream out(path);
+  out << doc.str();
+}
+
+agg::FleetConfig config_for(const std::string& dir, int shards) {
+  agg::FleetConfig config;
+  for (int k = 0; k < shards; ++k) {
+    config.shards.push_back(
+        {k, dir + "/ordo_status.shard" + std::to_string(k) + ".json"});
+  }
+  return config;
+}
+
+TEST(Fleet, ClassifiesLiveDoneDeadAndUnknownShards) {
+  const std::string dir = fresh_dir("ordo_agg_fleet_states");
+  agg::FleetConfig config = config_for(dir, 4);
+  const std::int64_t own_pid = static_cast<std::int64_t>(::getpid());
+  // Shard 0: fresh heartbeat, our (alive) pid → live.
+  write_heartbeat(config.shards[0].heartbeat_path, own_pid, true, 3, 10,
+                  5.0, 30.0);
+  // Shard 1: finished (running:false) — state done even though pid is gone.
+  write_heartbeat(config.shards[1].heartbeat_path, 999999999, false, 10, 10,
+                  5.0, 30.0);
+  // Shard 2: pid far beyond pid_max never names a live process → dead.
+  write_heartbeat(config.shards[2].heartbeat_path, 999999999, true, 3, 10,
+                  5.0, 30.0);
+  // Shard 3: no heartbeat file at all → unknown.
+
+  agg::FleetMonitor monitor(config);
+  const agg::FleetSnapshot fleet = monitor.poll();
+  ASSERT_EQ(fleet.shards.size(), 4u);
+  EXPECT_EQ(fleet.shards[0].state, agg::ShardState::kLive);
+  EXPECT_EQ(fleet.shards[1].state, agg::ShardState::kDone);
+  EXPECT_EQ(fleet.shards[2].state, agg::ShardState::kDead);
+  EXPECT_EQ(fleet.shards[3].state, agg::ShardState::kUnknown);
+
+  // Dead-with-work is a straggler; done and unknown are not.
+  EXPECT_TRUE(fleet.shards[2].straggler);
+  EXPECT_FALSE(fleet.shards[0].straggler);
+  EXPECT_FALSE(fleet.shards[1].straggler);
+  EXPECT_FALSE(fleet.shards[3].straggler);
+  EXPECT_EQ(fleet.stragglers, 1);
+  // The gauge mirrors the verdict for alert pipelines scraping metrics.
+  EXPECT_DOUBLE_EQ(obs::gauge("obs.fleet.stragglers").value(), 1.0);
+  fs::remove_all(dir);
+}
+
+TEST(Fleet, StaleHeartbeatFlagsWedgedWorker) {
+  const std::string dir = fresh_dir("ordo_agg_fleet_stale");
+  agg::FleetConfig config = config_for(dir, 1);
+  const std::int64_t own_pid = static_cast<std::int64_t>(::getpid());
+  write_heartbeat(config.shards[0].heartbeat_path, own_pid, true, 3, 10,
+                  5.0, 30.0);
+  // Age the file past the threshold: pid alive + old mtime = wedged, the
+  // exact failure a pid check alone cannot see.
+  fs::last_write_time(config.shards[0].heartbeat_path,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::seconds(60));
+
+  agg::FleetMonitor monitor(config);
+  const agg::FleetSnapshot fleet = monitor.poll();
+  ASSERT_EQ(fleet.shards.size(), 1u);
+  EXPECT_EQ(fleet.shards[0].state, agg::ShardState::kStale);
+  EXPECT_GT(fleet.shards[0].heartbeat_age_seconds,
+            config.stale_after_seconds);
+  EXPECT_TRUE(fleet.shards[0].straggler);
+  fs::remove_all(dir);
+}
+
+TEST(Fleet, PaceStragglerIsJudgedAgainstTheLiveMedian) {
+  const std::string dir = fresh_dir("ordo_agg_fleet_pace");
+  agg::FleetConfig config = config_for(dir, 3);
+  const std::int64_t own_pid = static_cast<std::int64_t>(::getpid());
+  // Two shards pace at 10 tasks/s, one at 1 — with factor 3, 1 × 3 < 10.
+  write_heartbeat(config.shards[0].heartbeat_path, own_pid, true, 5, 10,
+                  10.0, 30.0);
+  write_heartbeat(config.shards[1].heartbeat_path, own_pid, true, 5, 10,
+                  10.0, 30.0);
+  write_heartbeat(config.shards[2].heartbeat_path, own_pid, true, 1, 10,
+                  1.0, 30.0);
+
+  agg::FleetMonitor monitor(config);
+  const agg::FleetSnapshot fleet = monitor.poll();
+  ASSERT_EQ(fleet.shards.size(), 3u);
+  EXPECT_FALSE(fleet.shards[0].straggler);
+  EXPECT_FALSE(fleet.shards[1].straggler);
+  EXPECT_TRUE(fleet.shards[2].straggler);
+  EXPECT_EQ(fleet.shards[2].straggler_reason,
+            "pacing behind the fleet median");
+  EXPECT_EQ(fleet.stragglers, 1);
+
+  // A worker with no completions yet (no rate field) is never pace-judged.
+  write_heartbeat(config.shards[2].heartbeat_path, own_pid, true, 0, 10,
+                  0.0, 30.0);
+  EXPECT_EQ(monitor.poll().stragglers, 0);
+  fs::remove_all(dir);
+}
+
+TEST(Fleet, MergedLatencyIsBucketExactAcrossShards) {
+  const std::string dir = fresh_dir("ordo_agg_fleet_latency");
+  agg::FleetConfig config = config_for(dir, 2);
+  const std::int64_t own_pid = static_cast<std::int64_t>(::getpid());
+
+  // Each shard's heartbeat carries a bucket-complete "task" histogram;
+  // the expected fleet view is the union recorded into one histogram.
+  agg::LatencyHistogram shard0;
+  shard0.record_ns(1'000);
+  shard0.record_ns(2'000);
+  agg::LatencyHistogram shard1;
+  shard1.record_ns(2'000);
+  shard1.record_ns(900'000);
+  agg::LatencyHistogram expected;
+  for (const std::int64_t ns : {1'000, 2'000, 2'000, 900'000}) {
+    expected.record_ns(ns);
+  }
+  std::string json0;
+  agg::append_latency_snapshot_json(json0, shard0.snapshot(), true);
+  std::string json1;
+  agg::append_latency_snapshot_json(json1, shard1.snapshot(), true);
+  write_heartbeat(config.shards[0].heartbeat_path, own_pid, true, 2, 4, 5.0,
+                  30.0, "{\"task\":" + json0 + "}");
+  write_heartbeat(config.shards[1].heartbeat_path, own_pid, true, 2, 4, 5.0,
+                  30.0, "{\"task\":" + json1 + "}");
+
+  agg::FleetMonitor monitor(config);
+  const agg::FleetSnapshot fleet = monitor.poll();
+  ASSERT_EQ(fleet.merged_latency.size(), 1u);
+  EXPECT_EQ(fleet.merged_latency[0].first, "task");
+  const agg::LatencySnapshot& merged = fleet.merged_latency[0].second;
+  const agg::LatencySnapshot want = expected.snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum_ns, want.sum_ns);
+  for (int i = 0; i < agg::kLatencyBuckets; ++i) {
+    EXPECT_EQ(merged.buckets[i], want.buckets[i]) << "bucket " << i;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Fleet, SectionJsonParsesAndFollowsAbsentNotZero) {
+  const std::string dir = fresh_dir("ordo_agg_fleet_section");
+  agg::FleetConfig config = config_for(dir, 2);
+  const std::int64_t own_pid = static_cast<std::int64_t>(::getpid());
+  // Shard 0 has a rate; shard 1 has no completions → no rate key at all.
+  write_heartbeat(config.shards[0].heartbeat_path, own_pid, true, 5, 10,
+                  10.0, 30.0);
+  write_heartbeat(config.shards[1].heartbeat_path, own_pid, true, 0, 10,
+                  0.0, 30.0);
+
+  agg::FleetMonitor monitor(config);
+  std::string section;
+  monitor.append_section(section);
+  const obs::JsonValue doc = obs::parse_json(section);
+  EXPECT_EQ(doc.at("schema_version").as_int(), agg::kFleetSchemaVersion);
+  ASSERT_EQ(doc.at("shards").items.size(), 2u);
+  const obs::JsonValue& paced = doc.at("shards").items[0];
+  EXPECT_EQ(paced.at("state").text, "live");
+  EXPECT_EQ(paced.at("completed").as_int(), 5);
+  EXPECT_NE(paced.find("rate_tasks_per_second"), nullptr);
+  const obs::JsonValue& fresh = doc.at("shards").items[1];
+  EXPECT_EQ(fresh.find("rate_tasks_per_second"), nullptr);
+  EXPECT_EQ(doc.at("stragglers").as_int(), 0);
+  EXPECT_NE(doc.find("latency"), nullptr);
+  fs::remove_all(dir);
+}
+
+// --- trace stitching -------------------------------------------------------
+
+// One per-process trace file as obs::write_chrome_trace emits it.
+void write_shard_trace(const std::string& path, int pid,
+                       const std::string& label, const std::string& span) {
+  std::ofstream out(path);
+  out << "{\"schema_version\":1,\"pid\":" << pid << ",\"process_label\":\""
+      << label << "\",\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"args\":{\"name\":\"" << label << "\"}},"
+      << "{\"name\":\"" << span
+      << "\",\"cat\":\"ordo\",\"ph\":\"X\",\"ts\":100,\"dur\":50,\"pid\":"
+      << pid << ",\"tid\":1,\"args\":{\"depth\":0}}]}\n";
+}
+
+TEST(TraceMerge, StitchesShardFilesIntoNamedProcessRows) {
+  const std::string dir = fresh_dir("ordo_agg_trace_merge");
+  write_shard_trace(dir + "/trace.shard0", 11111, "shard 0", "study/task");
+  write_shard_trace(dir + "/trace.shard1", 22222, "shard 1", "study/spmv");
+
+  agg::clear_trace_merge_inputs();
+  agg::register_trace_merge_input(dir + "/trace.shard0", "shard 0");
+  agg::register_trace_merge_input(dir + "/trace.shard1", "shard 1");
+  // Registration is idempotent per path — re-registering must not create a
+  // duplicate process row.
+  agg::register_trace_merge_input(dir + "/trace.shard0", "shard 0");
+  EXPECT_EQ(agg::trace_merge_inputs().size(), 2u);
+
+  std::ostringstream merged;
+  agg::write_merged_chrome_trace(merged);
+  const obs::JsonValue doc = obs::parse_json(merged.str());
+  const obs::JsonValue& events = doc.at("traceEvents");
+
+  std::vector<std::int64_t> named_pids;
+  std::vector<std::int64_t> span_pids;
+  for (const obs::JsonValue& event : events.items) {
+    if (event.at("ph").text == "M") {
+      if (event.at("name").text == "process_name") {
+        named_pids.push_back(event.at("pid").as_int());
+      }
+      continue;
+    }
+    span_pids.push_back(event.at("pid").as_int());
+  }
+  // Three named rows: this process (the "parent") plus the two shards,
+  // each under its real pid.
+  const std::int64_t own_pid = static_cast<std::int64_t>(::getpid());
+  ASSERT_EQ(named_pids.size(), 3u);
+  EXPECT_EQ(named_pids[0], own_pid);
+  EXPECT_NE(std::find(named_pids.begin(), named_pids.end(), 11111),
+            named_pids.end());
+  EXPECT_NE(std::find(named_pids.begin(), named_pids.end(), 22222),
+            named_pids.end());
+  // The shard spans survived with their own pids (no re-parenting).
+  EXPECT_NE(std::find(span_pids.begin(), span_pids.end(), 11111),
+            span_pids.end());
+  EXPECT_NE(std::find(span_pids.begin(), span_pids.end(), 22222),
+            span_pids.end());
+  agg::clear_trace_merge_inputs();
+  fs::remove_all(dir);
+}
+
+TEST(TraceMerge, UnreadableInputIsSkippedNotFatal) {
+  const std::string dir = fresh_dir("ordo_agg_trace_missing");
+  write_shard_trace(dir + "/trace.shard0", 33333, "shard 0", "study/task");
+
+  agg::clear_trace_merge_inputs();
+  agg::register_trace_merge_input(dir + "/trace.shard0", "shard 0");
+  // A worker that was SIGKILLed before finalize leaves no file: the merge
+  // must still produce a valid trace from the survivors.
+  agg::register_trace_merge_input(dir + "/trace.shard1", "shard 1");
+
+  std::ostringstream merged;
+  agg::write_merged_chrome_trace(merged);
+  const obs::JsonValue doc = obs::parse_json(merged.str());
+  bool found_survivor = false;
+  for (const obs::JsonValue& event : doc.at("traceEvents").items) {
+    if (event.at("ph").text != "M" && event.at("pid").as_int() == 33333) {
+      found_survivor = true;
+    }
+  }
+  EXPECT_TRUE(found_survivor);
+  agg::clear_trace_merge_inputs();
+  fs::remove_all(dir);
+}
+
+// --- concurrency stress (re-run under TSan by the sanitizer CI job) --------
+
+TEST(TsanStressTest, LatencyHistogramConcurrentRecordSnapshotMerge) {
+  agg::LatencyHistogram histogram;
+  constexpr int kRecorders = 4;
+  constexpr int kRecordsEach = 20'000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kRecorders + 2);
+  for (int t = 0; t < kRecorders; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kRecordsEach; ++i) {
+        histogram.record_ns(static_cast<std::int64_t>(t) * 1'000 + i);
+      }
+    });
+  }
+  // Concurrent snapshots and merges race the recorders on purpose: the
+  // histogram promises per-field coherence, not a consistent cut, so the
+  // only invariants mid-flight are "counts never exceed the final total".
+  agg::LatencyHistogram sink;
+  threads.emplace_back([&histogram, &sink, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      sink.merge(histogram.snapshot());
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&histogram, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const agg::LatencySnapshot s = histogram.snapshot();
+      if (s.count > kRecorders * kRecordsEach) std::abort();
+      std::this_thread::yield();
+    }
+  });
+  for (int t = 0; t < kRecorders; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads[kRecorders].join();
+  threads[kRecorders + 1].join();
+
+  const agg::LatencySnapshot final_snapshot = histogram.snapshot();
+  EXPECT_EQ(final_snapshot.count, kRecorders * kRecordsEach);
+  std::int64_t bucket_total = 0;
+  for (const std::int64_t b : final_snapshot.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, final_snapshot.count);
+}
+
+TEST(TsanStressTest, LatencyRegistryConcurrentNamedAccess) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 2'000; ++i) {
+        agg::latency("test.agg.stress." + std::to_string(t % 3))
+            .record_ns(i);
+        if (i % 64 == 0) (void)agg::sample_latency();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::int64_t total = 0;
+  for (const auto& [name, snapshot] : agg::sample_latency()) {
+    if (name.rfind("test.agg.stress.", 0) == 0) total += snapshot.count;
+  }
+  EXPECT_EQ(total, kThreads * 2'000);
+}
+
+}  // namespace
+}  // namespace ordo

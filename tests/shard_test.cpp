@@ -11,6 +11,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -20,6 +22,10 @@
 
 #include "core/experiment.hpp"
 #include "corpus/stream.hpp"
+#include "obs/agg/latency_histogram.hpp"
+#include "obs/agg/trace_merge.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "obs/status/heartbeat.hpp"
 #include "pipeline/journal.hpp"
 #include "pipeline/shard.hpp"
@@ -273,6 +279,77 @@ TEST(Shard, HeartbeatWriterRefusesLiveForeignFile) {
     writer.stop();
   }
   { obs::status::HeartbeatWriter writer(path, 10.0); }  // own pid now
+  fs::remove_all(dir);
+}
+
+TEST(Shard, WorkersSuffixTelemetryOutputsAndTracesStitch) {
+  const auto corpus = generate_corpus(tiny_corpus());
+  const std::string dir = fresh_dir("ordo_shard_telemetry");
+  obs::set_tracing_enabled(true);
+  obs::set_trace_output_path(dir + "/trace.json");
+  obs::set_metrics_output_path(dir + "/metrics.json");
+  obs::agg::clear_trace_merge_inputs();
+  const std::int64_t tasks_before =
+      obs::agg::latency("task").snapshot().count;
+
+  StudyOptions options;
+  options.shards = 2;
+  options.checkpoint_dir = dir;
+  const pipeline::StudyReport report =
+      pipeline::run_sharded_study(corpus, options);
+  EXPECT_TRUE(report.failures.empty());
+
+  // Each worker re-pointed the inherited paths at fork: the suffixed dumps
+  // exist, the parent's own files are untouched (written only at its
+  // finalize), so N processes never raced one output file.
+  EXPECT_FALSE(fs::exists(dir + "/trace.json"));
+  EXPECT_FALSE(fs::exists(dir + "/metrics.json"));
+  for (int k = 0; k < 2; ++k) {
+    const std::string suffix = ".shard" + std::to_string(k);
+    ASSERT_TRUE(fs::exists(dir + "/trace.json" + suffix)) << k;
+    ASSERT_TRUE(fs::exists(dir + "/metrics.json" + suffix)) << k;
+    // The worker's metrics dump carries the additive latency group.
+    const obs::JsonValue metrics =
+        obs::parse_json(slurp(dir + "/metrics.json" + suffix));
+    EXPECT_NE(metrics.find("latency"), nullptr) << k;
+  }
+
+  // The parent registered the shard traces as merge inputs: the stitched
+  // document has three named process rows (parent + both shards) under
+  // distinct real pids, and the shard spans keep their own pids.
+  std::ostringstream merged;
+  obs::agg::write_merged_chrome_trace(merged);
+  const obs::JsonValue doc = obs::parse_json(merged.str());
+  std::vector<std::int64_t> named_pids;
+  std::vector<std::int64_t> span_pids;
+  for (const obs::JsonValue& event : doc.at("traceEvents").items) {
+    if (event.at("ph").text == "M") {
+      if (event.at("name").text == "process_name") {
+        named_pids.push_back(event.at("pid").as_int());
+      }
+    } else if (event.at("pid").as_int() != ::getpid()) {
+      span_pids.push_back(event.at("pid").as_int());
+    }
+  }
+  ASSERT_EQ(named_pids.size(), 3u);
+  std::sort(named_pids.begin(), named_pids.end());
+  EXPECT_EQ(std::unique(named_pids.begin(), named_pids.end()),
+            named_pids.end());
+  EXPECT_FALSE(span_pids.empty());  // worker spans survived the stitch
+  std::sort(span_pids.begin(), span_pids.end());
+  span_pids.erase(std::unique(span_pids.begin(), span_pids.end()),
+                  span_pids.end());
+  EXPECT_EQ(span_pids.size(), 2u);  // one distinct pid per shard
+
+  // The post-waitpid fold: both workers' final heartbeat histograms landed
+  // in the parent's registry, one "task" sample per computed matrix.
+  EXPECT_EQ(obs::agg::latency("task").snapshot().count,
+            tasks_before + static_cast<std::int64_t>(corpus.size()));
+
+  obs::set_tracing_enabled(false);
+  obs::set_trace_output_path(std::string());
+  obs::set_metrics_output_path(std::string());
+  obs::agg::clear_trace_merge_inputs();
   fs::remove_all(dir);
 }
 

@@ -21,6 +21,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "obs/agg/latency_histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/status/listener.hpp"
 #include "obs/status/status.hpp"
@@ -90,6 +91,44 @@ TEST(StatusTest, EtaAbsentNotZeroBeforeFirstCompletion) {
                 .at("run")
                 .find("eta_seconds"),
             nullptr);
+  status::end_run();
+}
+
+TEST(StatusTest, RateAbsentNotZeroBeforeFirstCompletion) {
+  status::begin_run(/*total=*/8, /*workers=*/2, /*resumed=*/0);
+  // The fleet monitor's pace field obeys the same rule as the ETA: absent
+  // until the EWMA has a sample, so a fresh shard is never pace-judged.
+  EXPECT_FALSE(status::progress().has_rate);
+  EXPECT_EQ(obs::parse_json(status::snapshot_json())
+                .at("run")
+                .find("rate_tasks_per_second"),
+            nullptr);
+
+  run_synthetic_tasks(/*count=*/1, /*workers=*/1);
+  const status::ProgressSnapshot after = status::progress();
+  EXPECT_TRUE(after.has_rate);
+  EXPECT_GT(after.rate_tasks_per_second, 0.0);
+  EXPECT_NE(obs::parse_json(status::snapshot_json())
+                .at("run")
+                .find("rate_tasks_per_second"),
+            nullptr);
+  status::end_run();
+}
+
+TEST(StatusTest, SnapshotCarriesBucketCompleteLatencySection) {
+  status::begin_run(/*total=*/1, /*workers=*/1, /*resumed=*/0);
+  obs::agg::latency("test.status.latency").record_ns(5'000);
+
+  const obs::JsonValue doc = obs::parse_json(status::snapshot_json());
+  const obs::JsonValue* latency = doc.find("latency");
+  ASSERT_NE(latency, nullptr);
+  const obs::JsonValue* entry = latency->find("test.status.latency");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GE(entry->at("count").as_int(), 1);
+  EXPECT_NE(entry->find("p99"), nullptr);
+  // The snapshot doubles as the shard heartbeat wire form, so it must carry
+  // the bucket detail the parent's exact cross-shard merge needs.
+  EXPECT_NE(entry->find("buckets"), nullptr);
   status::end_run();
 }
 

@@ -13,8 +13,13 @@ tally, EWMA ETA, per-worker in-flight matrices with their current phase
 (reorder/profile/features/spmv/model/journal) and deadline margin, plan
 cache hit rate, the ordering selector's tally when the study runs with
 --auto-order (decisions, oracle hit rate, mean regret, per-ordering
-picks), and — when the study runs with --hw — the latest counter window
-(IPC, LLC miss rate, achieved vs peak GB/s).
+picks), tail-latency percentiles (p50/p90/p99/p999 per task and phase),
+and — when the study runs with --hw — the latest counter window
+(IPC, LLC miss rate, achieved vs peak GB/s). During a sharded run
+(run_study --shards N) the parent's snapshot carries a "fleet" section:
+one row per shard worker with LIVE/STALE/DEAD/DONE state, progress,
+pace, and straggler flags, plus the exact bucket-merged fleet-wide
+latency percentiles.
 
 Modes:
   (default)     full-screen curses refresh every --interval seconds;
@@ -36,6 +41,8 @@ import urllib.request
 
 POLL_TIMEOUT_SECONDS = 5.0
 PHASES = ("reorder", "profile", "features", "spmv", "model", "journal")
+SHARD_STATES = ("unknown", "live", "stale", "dead", "done")
+PERCENTILE_KEYS = ("p50", "p90", "p99", "p999")
 
 
 def fetch(args):
@@ -60,8 +67,8 @@ def validate(snap):
     _expect(errors, isinstance(snap, dict), "snapshot is not a JSON object")
     if not isinstance(snap, dict):
         return errors
-    _expect(errors, snap.get("schema_version") == 1,
-            f"schema_version != 1 (got {snap.get('schema_version')!r})")
+    _expect(errors, snap.get("schema_version") == 2,
+            f"schema_version != 2 (got {snap.get('schema_version')!r})")
     for key, kind in (("pid", int), ("uptime_seconds", (int, float)),
                       ("run", dict), ("workers", list), ("metrics", dict)):
         _expect(errors, isinstance(snap.get(key), kind),
@@ -90,6 +97,15 @@ def validate(snap):
                     "run.eta_seconds present but negative/mistyped")
             _expect(errors, run.get("completed", 0) + run.get("failed", 0) > 0,
                     "run.eta_seconds present before any task finished")
+        # Same rule for the v2 pace field the fleet monitor consumes.
+        if "rate_tasks_per_second" in run:
+            _expect(errors,
+                    isinstance(run["rate_tasks_per_second"], (int, float))
+                    and run["rate_tasks_per_second"] > 0.0,
+                    "run.rate_tasks_per_second present but non-positive")
+            _expect(errors, run.get("completed", 0) + run.get("failed", 0) > 0,
+                    "run.rate_tasks_per_second present before any task "
+                    "finished")
 
     for i, worker in enumerate(snap.get("workers") or []):
         for key, kind in (("slot", int), ("task_index", int),
@@ -131,6 +147,109 @@ def validate(snap):
                 _expect(errors, key in sel, f"select.{key} missing")
             _expect(errors, isinstance(sel.get("picks"), dict),
                     "select.picks is not an object")
+
+    # latency (v2) is optional — a histogram appears only once something
+    # was recorded into it (absent-not-zero, like the EWMA fields).
+    latency = snap.get("latency")
+    if latency is not None:
+        _expect(errors, isinstance(latency, dict),
+                "latency present but not an object")
+        if isinstance(latency, dict):
+            for name, entry in latency.items():
+                errors.extend(validate_latency_entry(f"latency[{name!r}]",
+                                                     entry))
+
+    # fleet is optional (only a sharded parent registers it).
+    fleet = snap.get("fleet")
+    if fleet is not None:
+        errors.extend(validate_fleet(fleet))
+    return errors
+
+
+def validate_latency_entry(label, entry):
+    """Violations in one serialized latency histogram snapshot."""
+    errors = []
+    _expect(errors, isinstance(entry, dict), f"{label} is not an object")
+    if not isinstance(entry, dict):
+        return errors
+    for key in ("count", "sum_ns", "mean_seconds") + PERCENTILE_KEYS:
+        _expect(errors, isinstance(entry.get(key), (int, float)),
+                f"{label}.{key} missing or mistyped")
+    _expect(errors, isinstance(entry.get("count"), int)
+            and entry.get("count", 0) > 0,
+            f"{label}.count is not a positive integer (empty histograms "
+            f"must be absent, not zero)")
+    quantiles = [entry.get(key) for key in PERCENTILE_KEYS]
+    if all(isinstance(q, (int, float)) for q in quantiles):
+        _expect(errors, all(a <= b for a, b in zip(quantiles, quantiles[1:])),
+                f"{label} percentiles are not monotone "
+                f"(p50..p999 = {quantiles})")
+    if "buckets" in entry:
+        buckets = entry["buckets"]
+        _expect(errors, isinstance(buckets, list)
+                and all(isinstance(p, list) and len(p) == 2 for p in buckets),
+                f"{label}.buckets is not a list of [index, count] pairs")
+        if isinstance(buckets, list) \
+                and all(isinstance(p, list) and len(p) == 2 for p in buckets):
+            _expect(errors,
+                    sum(p[1] for p in buckets) == entry.get("count"),
+                    f"{label}.buckets do not sum to count")
+    return errors
+
+
+def validate_fleet(fleet):
+    """Violations in the sharded parent's fleet section."""
+    errors = []
+    _expect(errors, isinstance(fleet, dict), "fleet is not an object")
+    if not isinstance(fleet, dict):
+        return errors
+    _expect(errors, fleet.get("schema_version") == 1,
+            f"fleet.schema_version != 1 "
+            f"(got {fleet.get('schema_version')!r})")
+    _expect(errors, isinstance(fleet.get("shards"), list),
+            "fleet.shards missing or not a list")
+    stragglers = fleet.get("stragglers")
+    _expect(errors, isinstance(stragglers, int) and stragglers >= 0,
+            "fleet.stragglers is not a non-negative integer")
+    flagged = 0
+    for i, shard in enumerate(fleet.get("shards") or []):
+        label = f"fleet.shards[{i}]"
+        if not isinstance(shard, dict):
+            errors.append(f"{label} is not an object")
+            continue
+        _expect(errors, isinstance(shard.get("shard"), int),
+                f"{label}.shard missing or mistyped")
+        _expect(errors, shard.get("state") in SHARD_STATES,
+                f"{label}.state not one of {SHARD_STATES}")
+        _expect(errors, isinstance(shard.get("heartbeat"), bool),
+                f"{label}.heartbeat missing or mistyped")
+        if shard.get("heartbeat") is not True:
+            continue  # no heartbeat file yet: only identity keys exist
+        for key in ("pid", "total", "completed", "failed", "resumed"):
+            _expect(errors, isinstance(shard.get(key), int),
+                    f"{label}.{key} missing or mistyped")
+        for key in ("heartbeat_age_seconds", "fraction", "elapsed_seconds"):
+            _expect(errors, isinstance(shard.get(key), (int, float)),
+                    f"{label}.{key} missing or mistyped")
+        for key in ("pid_alive", "running"):
+            _expect(errors, isinstance(shard.get(key), bool),
+                    f"{label}.{key} missing or mistyped")
+        if shard.get("straggler"):
+            flagged += 1
+            _expect(errors, isinstance(shard.get("straggler_reason"), str),
+                    f"{label}.straggler set without straggler_reason")
+        for name, entry in (shard.get("latency") or {}).items():
+            errors.extend(
+                validate_latency_entry(f"{label}.latency[{name!r}]", entry))
+    if isinstance(stragglers, int) and isinstance(fleet.get("shards"), list):
+        _expect(errors, flagged == stragglers,
+                f"fleet.stragglers ({stragglers}) != flagged shard rows "
+                f"({flagged})")
+    _expect(errors, isinstance(fleet.get("latency"), dict),
+            "fleet.latency (merged histograms) missing or not an object")
+    for name, entry in (fleet.get("latency") or {}).items():
+        errors.extend(
+            validate_latency_entry(f"fleet.latency[{name!r}]", entry))
     return errors
 
 
@@ -148,6 +267,61 @@ def format_seconds(seconds):
 def progress_bar(fraction, width):
     filled = int(round(max(0.0, min(1.0, fraction)) * width))
     return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def format_latency(seconds):
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def latency_lines(latency, header):
+    """Lines for one latency section ({name: {p50..p999, count}, ...})."""
+    if not isinstance(latency, dict) or not latency:
+        return []
+    lines = [header]
+    for name, entry in sorted(latency.items()):
+        if not isinstance(entry, dict):
+            continue
+        quantiles = "  ".join(
+            f"{key} {format_latency(entry[key])}"
+            for key in PERCENTILE_KEYS if key in entry)
+        lines.append(f"  {name:<16.16} n={entry.get('count', 0):<7} "
+                     f"{quantiles}")
+    return lines
+
+
+def fleet_lines(fleet):
+    """Per-shard rows of the sharded parent's fleet section."""
+    if not isinstance(fleet, dict):
+        return []
+    shards = fleet.get("shards") or []
+    lines = ["", f"fleet ({len(shards)} shards, "
+                 f"{fleet.get('stragglers', 0)} stragglers):"]
+    for shard in shards:
+        if not isinstance(shard, dict):
+            continue
+        state = str(shard.get("state", "?")).upper()
+        row = f"  shard {shard.get('shard', '?'):>2}  {state:<7}"
+        if shard.get("heartbeat"):
+            done = shard.get("completed", 0) + shard.get("failed", 0) \
+                + shard.get("resumed", 0)
+            row += (f" {done:>4}/{shard.get('total', 0):<4} "
+                    f"({100.0 * shard.get('fraction', 0.0):3.0f}%) ")
+            if "rate_tasks_per_second" in shard:
+                row += f" {shard['rate_tasks_per_second']:6.2f} tasks/s"
+            if shard.get("phases"):
+                row += f"  [{shard['phases']}]"
+            if shard.get("straggler"):
+                row += f"  !! {shard.get('straggler_reason', 'straggler')}"
+        else:
+            row += "  (no heartbeat yet)"
+        lines.append(row)
+    lines.extend(latency_lines(fleet.get("latency"),
+                               "fleet latency (bucket-merged):"))
+    return lines
 
 
 def render(snap, width=78):
@@ -210,6 +384,9 @@ def render(snap, width=78):
             parts.append(f"{100.0 * hw['achieved_frac']:.0f}% of "
                          f"{hw['peak_gbps']:.1f} GB/s peak")
         lines.append("  ".join(parts))
+
+    lines.extend(latency_lines(snap.get("latency"), "latency:"))
+    lines.extend(fleet_lines(snap.get("fleet")))
 
     workers = snap.get("workers") or []
     lines.append("")
@@ -299,9 +476,14 @@ def main():
                 print(f"ordo_top --check FAILED: {error}")
             if not errors:
                 run = snap.get("run", {})
+                fleet = snap.get("fleet")
+                fleet_note = ""
+                if isinstance(fleet, dict):
+                    fleet_note = (f", fleet of "
+                                  f"{len(fleet.get('shards') or [])} shards")
                 print(f"ordo_top --check: snapshot valid "
-                      f"(schema_version 1, {run.get('completed', 0)}/"
-                      f"{run.get('total', 0)} completed)")
+                      f"(schema_version 2, {run.get('completed', 0)}/"
+                      f"{run.get('total', 0)} completed{fleet_note})")
             return 1 if errors else 0
         if args.once:
             plain_frame(args)

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""ordo_trace_merge: stitch per-shard Chrome trace files into one timeline.
+
+A sharded run (run_study --shards N with ORDO_TRACE set) leaves one trace
+file per process: the parent's at the configured path and each worker's at
+`<path>.shard<k>` (the worker re-points its output at fork). Every file
+shares one steady-clock time origin — the parent pins the trace anchor
+before forking and the workers inherit it — so stitching is pure
+concatenation: no timestamp rebasing, just one `process_name` /
+`process_sort_index` metadata pair per input so chrome://tracing (or
+Perfetto) shows each process as a named row.
+
+The in-process twin of this tool is obs/agg/trace_merge.hpp: the sharded
+parent's finalize() already writes the stitched file when merge inputs are
+registered. This tool exists for offline use — merging traces of a run
+that crashed before finalize, or re-merging after copying files off the
+machine — and as CI's stdlib-only validator for merged traces.
+
+Usage:
+  ordo_trace_merge.py -o merged.json parent.json shard0.json shard1.json
+  ordo_trace_merge.py --check merged.json --expect-processes 3
+  ordo_trace_merge.py --self-test
+
+Stdlib only; exit status: 0 ok, 1 validation/merge failure.
+"""
+
+import argparse
+import json
+import sys
+
+METADATA_PHASE = "M"
+
+
+def load_trace(path):
+    """Returns (pid, label, events) for one per-process trace file."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"),
+                                                   list):
+        raise ValueError(f"{path}: not a Chrome trace object with "
+                         f"traceEvents")
+    pid = doc.get("pid")
+    label = doc.get("process_label")
+    return pid, label, doc["traceEvents"]
+
+
+def metadata_rows(pid, label, sort_index):
+    return [
+        {"name": "process_name", "ph": METADATA_PHASE, "pid": pid,
+         "args": {"name": label}},
+        {"name": "process_sort_index", "ph": METADATA_PHASE, "pid": pid,
+         "args": {"sort_index": sort_index}},
+    ]
+
+
+def merge(input_paths, output_path):
+    """Stitches the input trace files into one merged file."""
+    events = []
+    seen_pids = set()
+    for sort_index, path in enumerate(input_paths):
+        pid, label, input_events = load_trace(path)
+        if pid is None:
+            # A file without the top-level pid (foreign tool, old schema)
+            # still merges; a synthetic negative pid keeps its row distinct.
+            pid = -(sort_index + 1)
+        if pid in seen_pids:
+            raise ValueError(f"{path}: duplicate pid {pid} — merging the "
+                             f"same process twice")
+        seen_pids.add(pid)
+        if not label:
+            label = f"pid {pid}"
+        events.extend(metadata_rows(pid, label, sort_index))
+        for event in input_events:
+            if isinstance(event, dict) \
+                    and event.get("ph") == METADATA_PHASE:
+                continue  # replaced by our metadata rows
+            events.append(event)
+    merged = {"displayTimeUnit": "ms", "traceEvents": events}
+    with open(output_path, "w", encoding="utf-8") as f:
+        json.dump(merged, f)
+        f.write("\n")
+    print(f"ordo_trace_merge: wrote {output_path} "
+          f"({len(events)} events from {len(input_paths)} processes)")
+
+
+def check(path, expect_processes):
+    """Returns a list of problems with a merged trace (empty = valid)."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"cannot parse {path}: {e}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents missing or not a list"]
+
+    named_pids = {}
+    span_pids = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"traceEvents[{i}] is not an object")
+            continue
+        phase = event.get("ph")
+        if phase == METADATA_PHASE:
+            if event.get("name") == "process_name":
+                name = (event.get("args") or {}).get("name")
+                if not isinstance(name, str) or not name:
+                    errors.append(f"traceEvents[{i}]: process_name row "
+                                  f"without args.name")
+                else:
+                    named_pids[event.get("pid")] = name
+            continue
+        if phase != "X":
+            continue  # future phases are legal Chrome trace content
+        for key, kind in (("name", str), ("ts", (int, float)),
+                          ("dur", (int, float)), ("pid", int),
+                          ("tid", int)):
+            if not isinstance(event.get(key), kind):
+                errors.append(
+                    f"traceEvents[{i}]: span {key} missing or mistyped")
+        if isinstance(event.get("pid"), int):
+            span_pids.add(event["pid"])
+
+    unnamed = span_pids - set(named_pids)
+    if unnamed:
+        errors.append(f"spans from pids {sorted(unnamed)} have no "
+                      f"process_name metadata row")
+    if expect_processes is not None and len(named_pids) != expect_processes:
+        errors.append(f"expected {expect_processes} named processes, "
+                      f"found {len(named_pids)}: {sorted(named_pids)}")
+    if not errors:
+        rows = ", ".join(f"{named_pids[pid]} (pid {pid})"
+                         for pid in sorted(named_pids))
+        print(f"ordo_trace_merge --check: {path} valid — "
+              f"{len(span_pids)} span-emitting processes, rows: {rows}")
+    return errors
+
+
+def self_test():
+    """Merges synthetic shard traces in a temp dir and checks the result."""
+    import os
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for k, (pid, label) in enumerate(
+                ((1000, "parent"), (1001, "shard 0"), (1002, "shard 1"))):
+            doc = {
+                "schema_version": 1, "pid": pid, "process_label": label,
+                "displayTimeUnit": "ms",
+                "traceEvents": [
+                    {"name": "process_name", "ph": "M", "pid": pid,
+                     "args": {"name": label}},
+                    {"name": f"span{k}", "cat": "ordo", "ph": "X",
+                     "ts": 100 * k, "dur": 50, "pid": pid, "tid": 1,
+                     "args": {"depth": 0}},
+                ],
+            }
+            path = os.path.join(tmp, f"trace{k}.json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+            paths.append(path)
+        merged_path = os.path.join(tmp, "merged.json")
+        merge(paths, merged_path)
+        errors = check(merged_path, expect_processes=3)
+        # The merge must keep every span and deduplicate nothing else.
+        with open(merged_path, encoding="utf-8") as f:
+            merged = json.load(f)
+        spans = [e for e in merged["traceEvents"] if e.get("ph") == "X"]
+        if len(spans) != 3:
+            errors.append(f"self-test: expected 3 spans, got {len(spans)}")
+        if sorted(e["pid"] for e in spans) != [1000, 1001, 1002]:
+            errors.append("self-test: span pids were not preserved")
+    for error in errors:
+        print(f"ordo_trace_merge --self-test FAILED: {error}")
+    if not errors:
+        print("ordo_trace_merge --self-test: PASS")
+    return 1 if errors else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="*",
+                        help="per-process trace files, parent first "
+                             "(row order follows argument order)")
+    parser.add_argument("-o", "--output",
+                        help="write the merged trace to this path")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate a merged trace instead of merging")
+    parser.add_argument("--expect-processes", type=int,
+                        help="with --check: require exactly N named "
+                             "process rows")
+    parser.add_argument("--self-test", action="store_true",
+                        help="merge synthetic traces in a temp dir and "
+                             "validate the result (CI smoke)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.check:
+        errors = check(args.check, args.expect_processes)
+        for error in errors:
+            print(f"ordo_trace_merge --check FAILED: {error}")
+        return 1 if errors else 0
+    if not args.inputs or not args.output:
+        parser.error("merge mode needs input files and -o/--output "
+                     "(or use --check / --self-test)")
+    try:
+        merge(args.inputs, args.output)
+    except (OSError, ValueError) as e:
+        print(f"ordo_trace_merge: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
